@@ -1,0 +1,250 @@
+//! Consensus over the abstract MAC layer.
+//!
+//! Newport's *Consensus with an Abstract MAC Layer* (PODC 2014) — one of
+//! the works the paper's composition argument ports to the dual graph
+//! model — shows that the MAC layer's acknowledgment/progress guarantees
+//! suffice to solve consensus in a connected network without knowing
+//! `n`. We implement a deterministic-structure variant in that spirit:
+//!
+//! **Two-phase flood-and-commit.** Each node starts with a value and a
+//! ballot `(id, value)`. Nodes repeatedly flood the *largest* ballot
+//! they have seen (by id). After `k` completed flood generations with no
+//! change of champion (a stability window longer than the network's
+//! flooding diameter), a node decides the champion's value.
+//!
+//! Over a *reliable-delivery* layer (which the LB reliability guarantee
+//! provides per hop, w.h.p.), all nodes converge on the globally
+//! largest id's value, giving:
+//!
+//! * **Agreement** — all deciding nodes decide the same value (w.h.p.).
+//! * **Validity** — the decided value is some node's initial value.
+//! * **Termination** — every node decides after
+//!   `O((D + k) · f_ack)` rounds, where `D` is the `G`-diameter.
+//!
+//! Like every algorithm in [`crate::apps`], the implementation touches
+//! only the [`AbstractMac`] interface.
+
+use crate::layer::{AbstractMac, MacEvent};
+use bytes::Bytes;
+use radio_sim::graph::NodeId;
+use radio_sim::process::ProcId;
+
+/// A consensus ballot: the champion id and its proposed value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Ballot {
+    /// The proposer's process id (ties broken by largest id).
+    pub id: ProcId,
+    /// The proposed value.
+    pub value: u64,
+}
+
+impl Ballot {
+    fn encode(self) -> Bytes {
+        let mut b = Vec::with_capacity(16);
+        b.extend_from_slice(&self.id.to_le_bytes());
+        b.extend_from_slice(&self.value.to_le_bytes());
+        Bytes::from(b)
+    }
+
+    fn decode(body: &Bytes) -> Option<Ballot> {
+        if body.len() != 16 {
+            return None;
+        }
+        Some(Ballot {
+            id: u64::from_le_bytes(body[0..8].try_into().ok()?),
+            value: u64::from_le_bytes(body[8..16].try_into().ok()?),
+        })
+    }
+}
+
+/// Outcome of a consensus run.
+#[derive(Debug, Clone)]
+pub struct ConsensusOutcome {
+    /// Per-node decided value (`None` if the node had not decided by the
+    /// horizon).
+    pub decisions: Vec<Option<u64>>,
+    /// Round at which the last node decided, if all did.
+    pub completed_at: Option<u64>,
+}
+
+impl ConsensusOutcome {
+    /// Whether every node decided and all decisions agree.
+    pub fn agreement(&self) -> bool {
+        let mut iter = self.decisions.iter();
+        let Some(Some(first)) = iter.next() else {
+            return self.decisions.is_empty();
+        };
+        self.decisions.iter().all(|d| d.as_ref() == Some(first))
+    }
+
+    /// Whether every decision equals one of the given initial values.
+    pub fn validity(&self, initial: &[u64]) -> bool {
+        self.decisions
+            .iter()
+            .flatten()
+            .all(|v| initial.contains(v))
+    }
+}
+
+/// Runs flood-and-commit consensus: node `v` proposes `initial[v]`.
+/// `stability` is the number of consecutive unchanged flood generations
+/// required before deciding (choose > the `G`-diameter). Runs until all
+/// nodes decide or `max_rounds` elapse.
+///
+/// # Panics
+///
+/// Panics if `initial.len()` differs from the network size or
+/// `stability == 0`.
+pub fn flood_consensus(
+    mac: &mut dyn AbstractMac,
+    initial: &[u64],
+    stability: u32,
+    max_rounds: u64,
+) -> ConsensusOutcome {
+    let n = mac.len();
+    assert_eq!(initial.len(), n, "one initial value per node");
+    assert!(stability >= 1, "stability window must be positive");
+
+    let mut champion: Vec<Ballot> = (0..n)
+        .map(|v| Ballot {
+            id: mac.proc_id(NodeId(v)),
+            value: initial[v],
+        })
+        .collect();
+    let mut stable: Vec<u32> = vec![0; n];
+    let mut decided: Vec<Option<u64>> = vec![None; n];
+    // One outstanding broadcast per node per generation, paced by acks.
+    let mut awaiting_ack: Vec<bool> = vec![false; n];
+    let mut completed_at = None;
+
+    // Kick off generation 1.
+    for v in 0..n {
+        mac.bcast(NodeId(v), champion[v].encode());
+        awaiting_ack[v] = true;
+    }
+
+    while mac.round() < max_rounds {
+        mac.step_round();
+        let mut improved = vec![false; n];
+        for (v, ev) in mac.poll_events() {
+            match ev {
+                MacEvent::Recv { body, .. } => {
+                    if let Some(b) = Ballot::decode(&body) {
+                        if b > champion[v.0] {
+                            champion[v.0] = b;
+                            improved[v.0] = true;
+                        }
+                    }
+                }
+                MacEvent::Ack { .. } => {
+                    awaiting_ack[v.0] = false;
+                }
+            }
+        }
+        for v in 0..n {
+            if decided[v].is_some() {
+                continue;
+            }
+            if improved[v] {
+                stable[v] = 0;
+            }
+            if !awaiting_ack[v] {
+                // Generation complete for v: count stability and, if not
+                // yet decided, flood the (possibly new) champion again.
+                stable[v] += 1;
+                if stable[v] >= stability {
+                    decided[v] = Some(champion[v].value);
+                } else {
+                    mac.bcast(NodeId(v), champion[v].encode());
+                    awaiting_ack[v] = true;
+                }
+            }
+        }
+        if decided.iter().all(|d| d.is_some()) {
+            completed_at = Some(mac.round());
+            break;
+        }
+    }
+
+    ConsensusOutcome {
+        decisions: decided,
+        completed_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::LbMac;
+    use local_broadcast::config::LbConfig;
+    use radio_sim::scheduler;
+    use radio_sim::topology;
+
+    fn mac_on(topo: &radio_sim::topology::Topology, seed: u64) -> LbMac {
+        LbMac::new(
+            topo,
+            Box::new(scheduler::AllExtraEdges),
+            LbConfig::with_constants(0.25, 1.0, 2.0, 1.0),
+            seed,
+        )
+    }
+
+    #[test]
+    fn ballot_codec_round_trips() {
+        let b = Ballot { id: 9, value: 1234 };
+        assert_eq!(Ballot::decode(&b.encode()), Some(b));
+        assert_eq!(Ballot::decode(&Bytes::from_static(b"nope")), None);
+    }
+
+    #[test]
+    fn ballots_order_by_id_first() {
+        let a = Ballot { id: 1, value: 100 };
+        let b = Ballot { id: 2, value: 5 };
+        assert!(b > a);
+    }
+
+    #[test]
+    fn consensus_on_clique_decides_max_id_value() {
+        let topo = topology::clique(3, 1.0);
+        let mut mac = mac_on(&topo, 5);
+        let horizon = mac.f_ack() * 24;
+        let out = flood_consensus(&mut mac, &[10, 20, 30], 2, horizon);
+        assert!(out.agreement(), "decisions: {:?}", out.decisions);
+        assert!(out.validity(&[10, 20, 30]));
+        // Champion is the largest id (node 2), so its value wins.
+        assert_eq!(out.decisions, vec![Some(30), Some(30), Some(30)]);
+        assert!(out.completed_at.is_some());
+    }
+
+    #[test]
+    fn consensus_on_path_needs_stability_beyond_diameter() {
+        let topo = topology::line(4, 0.9, 1.0);
+        let mut mac = mac_on(&topo, 7);
+        let horizon = mac.f_ack() * 48;
+        // Diameter 3: stability window 4 generations.
+        let out = flood_consensus(&mut mac, &[5, 6, 7, 8], 4, horizon);
+        assert!(out.agreement(), "decisions: {:?}", out.decisions);
+        assert_eq!(out.decisions[0], Some(8), "max id (3) proposes value 8");
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        let agree = ConsensusOutcome {
+            decisions: vec![Some(4), Some(4)],
+            completed_at: Some(10),
+        };
+        assert!(agree.agreement());
+        assert!(agree.validity(&[4, 9]));
+        assert!(!agree.validity(&[9]));
+        let split = ConsensusOutcome {
+            decisions: vec![Some(4), Some(5)],
+            completed_at: None,
+        };
+        assert!(!split.agreement());
+        let undecided = ConsensusOutcome {
+            decisions: vec![Some(4), None],
+            completed_at: None,
+        };
+        assert!(!undecided.agreement());
+    }
+}

@@ -1,0 +1,108 @@
+//! The abstract MAC layer interface.
+//!
+//! Following the specification style of Kuhn, Lynch & Newport (DISC
+//! 2009 / Distributed Computing 2011), the layer accepts `bcast` requests
+//! and emits `ack`/`recv` events, promising (probabilistically here, as
+//! in the paper's probabilistic variant):
+//!
+//! * every `bcast` is `ack`ed within `f_ack` rounds, by which point all
+//!   reliable neighbors have received the message (with probability
+//!   ≥ 1 − ε);
+//! * a node with an actively-broadcasting reliable neighbor receives
+//!   *some* message within any `f_prog`-round window (with probability
+//!   ≥ 1 − ε).
+//!
+//! Algorithms in [`crate::apps`] are written solely against this trait;
+//! the dual graph details live entirely in the
+//! [`LbMac`](crate::adapter::LbMac) implementation.
+
+use bytes::Bytes;
+use radio_sim::graph::NodeId;
+use radio_sim::process::ProcId;
+
+/// Identifier of a message accepted by the layer: the origin process and
+/// a per-origin sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgId {
+    /// The origin's process id.
+    pub origin: ProcId,
+    /// Sequence number at the origin.
+    pub seq: u64,
+}
+
+/// Events the layer delivers to the algorithm above it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MacEvent {
+    /// The layer finished broadcasting this node's message.
+    Ack {
+        /// Which message completed.
+        msg: MsgId,
+    },
+    /// First delivery of a message at this node.
+    Recv {
+        /// The message's identity.
+        msg: MsgId,
+        /// The application bytes carried.
+        body: Bytes,
+    },
+}
+
+/// The abstract MAC layer: a per-network handle the algorithm drives
+/// round by round.
+pub trait AbstractMac {
+    /// Number of nodes in the deployment.
+    fn len(&self) -> usize;
+
+    /// Whether the deployment is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The process id at a vertex (algorithms address ids, the paper's
+    /// `id()` assignment).
+    fn proc_id(&self, node: NodeId) -> ProcId;
+
+    /// Requests a broadcast of `body` from `node`. Requests queue FIFO
+    /// per node; the layer starts each as soon as the previous one acks
+    /// (the `LB` well-formedness rule). Returns the message id.
+    fn bcast(&mut self, node: NodeId, body: Bytes) -> MsgId;
+
+    /// Advances the network by one synchronous round.
+    fn step_round(&mut self);
+
+    /// Rounds executed so far.
+    fn round(&self) -> u64;
+
+    /// Drains events generated since the last poll, as
+    /// `(node, event)` pairs in generation order.
+    fn poll_events(&mut self) -> Vec<(NodeId, MacEvent)>;
+
+    /// The acknowledgment bound `f_ack` in rounds.
+    fn f_ack(&self) -> u64;
+
+    /// The progress bound `f_prog` in rounds.
+    fn f_prog(&self) -> u64;
+
+    /// Convenience: run `rounds` rounds, collecting events.
+    fn run_collect(&mut self, rounds: u64) -> Vec<(NodeId, MacEvent)> {
+        let mut out = Vec::new();
+        for _ in 0..rounds {
+            self.step_round();
+            out.extend(self.poll_events());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_id_ordering_is_by_origin_then_seq() {
+        let a = MsgId { origin: 1, seq: 5 };
+        let b = MsgId { origin: 2, seq: 0 };
+        assert!(a < b);
+        assert_eq!(a, MsgId { origin: 1, seq: 5 });
+    }
+}

@@ -1,0 +1,366 @@
+//! Specification checks for the abstract MAC layer's event interface.
+//!
+//! The abstract MAC layer papers state their guarantees "in terms of the
+//! ordering and timing of input and output events" (the paper's §5
+//! observation about the adaptation work). This module checks exactly
+//! those event-level invariants over a recorded `(node, event)` stream:
+//!
+//! 1. **Ack causality** — every ack names a message previously submitted
+//!    by that node, and each message acks at most once.
+//! 2. **FIFO acks** — per node, acks occur in submission order.
+//! 3. **Recv integrity** — every recv names a submitted message and the
+//!    body matches what the origin submitted; no node receives its own
+//!    message.
+//! 4. **Timeliness** (given round stamps) — each ack lands within
+//!    `f_ack` rounds of its message reaching the head of its node's
+//!    queue (conservatively: of its submission, when the queue was
+//!    empty).
+
+use crate::layer::{AbstractMac, MacEvent, MsgId};
+use bytes::Bytes;
+use radio_sim::graph::NodeId;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// A recorded event with its round stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StampedEvent {
+    /// The round after which the event was observed.
+    pub round: u64,
+    /// The node at which it occurred.
+    pub node: NodeId,
+    /// The event.
+    pub event: MacEvent,
+}
+
+/// Violations of the MAC event-interface invariants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MacViolation {
+    /// An ack for a message never submitted (or already acked).
+    UnexpectedAck {
+        /// The acked message.
+        msg: MsgId,
+        /// The acking node.
+        node: NodeId,
+    },
+    /// Acks out of submission order at a node.
+    AckOrder {
+        /// The node with reordered acks.
+        node: NodeId,
+        /// The message expected to ack next.
+        expected: MsgId,
+        /// The message actually acked.
+        got: MsgId,
+    },
+    /// A recv for an unknown message, a wrong body, or a self-delivery.
+    BadRecv {
+        /// The receiving node.
+        node: NodeId,
+        /// The received message id.
+        msg: MsgId,
+        /// The reason.
+        reason: &'static str,
+    },
+    /// An ack later than `f_ack` rounds after its submission round.
+    LateAck {
+        /// The late message.
+        msg: MsgId,
+        /// Submission round.
+        submitted: u64,
+        /// Ack round.
+        acked: u64,
+        /// The deadline that was missed.
+        deadline: u64,
+    },
+}
+
+impl fmt::Display for MacViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MacViolation::UnexpectedAck { msg, node } => {
+                write!(f, "unexpected ack of {msg:?} at {node}")
+            }
+            MacViolation::AckOrder { node, expected, got } => {
+                write!(f, "ack order violated at {node}: expected {expected:?}, got {got:?}")
+            }
+            MacViolation::BadRecv { node, msg, reason } => {
+                write!(f, "bad recv of {msg:?} at {node}: {reason}")
+            }
+            MacViolation::LateAck {
+                msg,
+                submitted,
+                acked,
+                deadline,
+            } => write!(
+                f,
+                "late ack of {msg:?}: submitted {submitted}, acked {acked}, deadline {deadline}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MacViolation {}
+
+/// A recording harness around any [`AbstractMac`]: forwards calls while
+/// logging submissions and events for spec checking.
+pub struct RecordingMac<M> {
+    inner: M,
+    submissions: Vec<(u64, NodeId, MsgId, Bytes)>,
+    events: Vec<StampedEvent>,
+}
+
+impl<M: AbstractMac> RecordingMac<M> {
+    /// Wraps a layer.
+    pub fn new(inner: M) -> Self {
+        RecordingMac {
+            inner,
+            submissions: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The recorded submissions as `(round, node, msg, body)`.
+    pub fn submissions(&self) -> &[(u64, NodeId, MsgId, Bytes)] {
+        &self.submissions
+    }
+
+    /// The recorded event stream.
+    pub fn events(&self) -> &[StampedEvent] {
+        &self.events
+    }
+
+    /// Checks all event-interface invariants recorded so far.
+    ///
+    /// `f_ack_slack` multiplies the timeliness deadline to account for
+    /// queueing (a message submitted behind `q` others may wait `q`
+    /// extra `f_ack` windows); pass the maximum queue depth + 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check(&self, f_ack_slack: u64) -> Result<(), MacViolation> {
+        let f_ack = self.inner.f_ack();
+        // Submission bookkeeping.
+        let mut submitted: BTreeMap<MsgId, (u64, NodeId, &Bytes)> = BTreeMap::new();
+        let mut queues: BTreeMap<NodeId, VecDeque<MsgId>> = BTreeMap::new();
+        for (round, node, msg, body) in &self.submissions {
+            submitted.insert(*msg, (*round, *node, body));
+            queues.entry(*node).or_default().push_back(*msg);
+        }
+
+        for ev in &self.events {
+            match &ev.event {
+                MacEvent::Ack { msg } => {
+                    let Some((sub_round, origin, _)) = submitted.get(msg).copied() else {
+                        return Err(MacViolation::UnexpectedAck {
+                            msg: *msg,
+                            node: ev.node,
+                        });
+                    };
+                    if origin != ev.node {
+                        return Err(MacViolation::UnexpectedAck {
+                            msg: *msg,
+                            node: ev.node,
+                        });
+                    }
+                    let queue = queues.entry(ev.node).or_default();
+                    match queue.front() {
+                        Some(front) if front == msg => {
+                            queue.pop_front();
+                        }
+                        Some(front) => {
+                            return Err(MacViolation::AckOrder {
+                                node: ev.node,
+                                expected: *front,
+                                got: *msg,
+                            })
+                        }
+                        None => {
+                            return Err(MacViolation::UnexpectedAck {
+                                msg: *msg,
+                                node: ev.node,
+                            })
+                        }
+                    }
+                    let deadline = sub_round + f_ack * f_ack_slack;
+                    if ev.round > deadline {
+                        return Err(MacViolation::LateAck {
+                            msg: *msg,
+                            submitted: sub_round,
+                            acked: ev.round,
+                            deadline,
+                        });
+                    }
+                }
+                MacEvent::Recv { msg, body } => {
+                    let Some((_, origin, sent_body)) = submitted.get(msg) else {
+                        return Err(MacViolation::BadRecv {
+                            node: ev.node,
+                            msg: *msg,
+                            reason: "message was never submitted",
+                        });
+                    };
+                    if *origin == ev.node {
+                        return Err(MacViolation::BadRecv {
+                            node: ev.node,
+                            msg: *msg,
+                            reason: "self-delivery",
+                        });
+                    }
+                    if *sent_body != body {
+                        return Err(MacViolation::BadRecv {
+                            node: ev.node,
+                            msg: *msg,
+                            reason: "body mismatch",
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<M: AbstractMac> AbstractMac for RecordingMac<M> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn proc_id(&self, node: NodeId) -> radio_sim::process::ProcId {
+        self.inner.proc_id(node)
+    }
+
+    fn bcast(&mut self, node: NodeId, body: Bytes) -> MsgId {
+        let id = self.inner.bcast(node, body.clone());
+        self.submissions.push((self.inner.round(), node, id, body));
+        id
+    }
+
+    fn step_round(&mut self) {
+        self.inner.step_round();
+    }
+
+    fn round(&self) -> u64 {
+        self.inner.round()
+    }
+
+    fn poll_events(&mut self) -> Vec<(NodeId, MacEvent)> {
+        let events = self.inner.poll_events();
+        let round = self.inner.round();
+        for (node, event) in &events {
+            self.events.push(StampedEvent {
+                round,
+                node: *node,
+                event: event.clone(),
+            });
+        }
+        events
+    }
+
+    fn f_ack(&self) -> u64 {
+        self.inner.f_ack()
+    }
+
+    fn f_prog(&self) -> u64 {
+        self.inner.f_prog()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::LbMac;
+    use local_broadcast::config::LbConfig;
+    use radio_sim::scheduler;
+    use radio_sim::topology;
+
+    fn recording_mac(n: usize, seed: u64) -> RecordingMac<LbMac> {
+        let topo = topology::clique(n, 1.0);
+        RecordingMac::new(LbMac::new(
+            &topo,
+            Box::new(scheduler::AllExtraEdges),
+            LbConfig::fast(0.25),
+            seed,
+        ))
+    }
+
+    #[test]
+    fn lbmac_satisfies_event_invariants() {
+        let mut mac = recording_mac(3, 4);
+        mac.bcast(NodeId(0), Bytes::from_static(b"a"));
+        mac.bcast(NodeId(1), Bytes::from_static(b"b"));
+        let horizon = mac.f_ack() * 3;
+        let _ = mac.run_collect(horizon);
+        mac.check(2).expect("event invariants hold");
+        assert!(!mac.events().is_empty());
+        assert_eq!(mac.submissions().len(), 2);
+    }
+
+    #[test]
+    fn queued_messages_need_slack() {
+        let mut mac = recording_mac(2, 5);
+        // Three messages queue at node 0: the third acks up to ~3 f_ack
+        // windows after submission.
+        for i in 0..3u8 {
+            mac.bcast(NodeId(0), Bytes::from(vec![i]));
+        }
+        let horizon = mac.f_ack() * 5;
+        let _ = mac.run_collect(horizon);
+        mac.check(4).expect("with queue slack the deadline holds");
+    }
+
+    #[test]
+    fn detects_fabricated_violations() {
+        // Hand-build a recording with an unexpected ack.
+        let mut mac = recording_mac(2, 6);
+        let _ = mac.run_collect(4);
+        mac.events.push(StampedEvent {
+            round: 4,
+            node: NodeId(0),
+            event: MacEvent::Ack {
+                msg: MsgId { origin: 0, seq: 99 },
+            },
+        });
+        assert!(matches!(
+            mac.check(1),
+            Err(MacViolation::UnexpectedAck { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_body_mismatch() {
+        let mut mac = recording_mac(2, 7);
+        let id = mac.bcast(NodeId(0), Bytes::from_static(b"real"));
+        let _ = mac.run_collect(2);
+        mac.events.push(StampedEvent {
+            round: 2,
+            node: NodeId(1),
+            event: MacEvent::Recv {
+                msg: id,
+                body: Bytes::from_static(b"forged"),
+            },
+        });
+        assert!(matches!(
+            mac.check(10),
+            Err(MacViolation::BadRecv { reason: "body mismatch", .. })
+        ));
+    }
+
+    #[test]
+    fn detects_self_delivery() {
+        let mut mac = recording_mac(2, 8);
+        let id = mac.bcast(NodeId(0), Bytes::from_static(b"x"));
+        mac.events.push(StampedEvent {
+            round: 1,
+            node: NodeId(0),
+            event: MacEvent::Recv {
+                msg: id,
+                body: Bytes::from_static(b"x"),
+            },
+        });
+        assert!(matches!(
+            mac.check(10),
+            Err(MacViolation::BadRecv { reason: "self-delivery", .. })
+        ));
+    }
+}

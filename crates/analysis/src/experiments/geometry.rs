@@ -1,0 +1,101 @@
+//! E12: the geometric structure lemmas of Appendix A.
+//!
+//! * Lemma A.2 — the grid partition is `f`-bounded: at most `c₁r²h²`
+//!   regions within `h` hops of any region.
+//! * Lemma A.3 — for any `r`-geographic dual graph, `Δ' ≤ c_r Δ` with
+//!   `c_r = c₁ r²`.
+
+use super::Scale;
+use crate::runner::run_trials;
+use crate::stats::Summary;
+use crate::table::{fnum, Table};
+use radio_sim::geometry::{RegionId, RegionPartition};
+use radio_sim::topology::{self, RggParams};
+
+/// E12 tables.
+pub fn e12_geometry(scale: Scale) -> Vec<Table> {
+    let trials = scale.pick(4, 20);
+
+    let mut t1 = Table::new(
+        "E12a",
+        "region graph f-boundedness (grid partition)",
+        "regions within h hops ≤ c₁ r² h² with the crate's c₁ (Lemma A.2)",
+        vec!["r", "h", "regions within h hops", "bound c₁r²h²", "ratio"],
+    );
+    for &r in &[1.0, 1.5, 2.0, 3.0] {
+        let part = RegionPartition::new(r);
+        for h in 1..=3u32 {
+            let count = part
+                .regions_within_hops(RegionId { ix: 0, iy: 0 }, h)
+                .len() as f64;
+            let bound = part.c1() * r * r * f64::from(h) * f64::from(h);
+            t1.push_row(vec![
+                fnum(r),
+                h.to_string(),
+                fnum(count),
+                fnum(bound),
+                fnum(count / bound),
+            ]);
+        }
+    }
+
+    let mut t2 = Table::new(
+        "E12b",
+        "Δ'/Δ across random geometric dual graphs",
+        "Δ' ≤ c_r Δ (Lemma A.3); the observed ratio sits far below the conservative c_r",
+        vec!["r", "mean Δ", "mean Δ'", "mean Δ'/Δ", "c_r bound"],
+    );
+    for (i, &r) in [1.0, 1.5, 2.0, 3.0].iter().enumerate() {
+        let results = run_trials(trials, 50_000 + i as u64 * 100, |s| {
+            let topo = topology::random_geometric(RggParams {
+                n: 100,
+                side: 5.0,
+                r,
+                grey_reliable_p: 0.0,
+                grey_unreliable_p: 1.0,
+                seed: s,
+            });
+            topo.check_geographic().expect("generator is geographic");
+            (
+                topo.graph.delta() as f64,
+                topo.graph.delta_prime() as f64,
+            )
+        });
+        let deltas: Vec<f64> = results.iter().map(|(d, _)| *d).collect();
+        let dprimes: Vec<f64> = results.iter().map(|(_, d)| *d).collect();
+        let ratios: Vec<f64> = results.iter().map(|(d, dp)| dp / d).collect();
+        let part = RegionPartition::new(r);
+        let ratio = Summary::of(&ratios);
+        t2.push_row(vec![
+            fnum(r),
+            fnum(Summary::of(&deltas).mean),
+            fnum(Summary::of(&dprimes).mean),
+            fnum(ratio.mean),
+            fnum(part.cr()),
+        ]);
+        assert!(
+            ratio.max <= part.cr(),
+            "Lemma A.3 violated: ratio {} > c_r {}",
+            ratio.max,
+            part.cr()
+        );
+    }
+
+    vec![t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_quick_satisfies_bounds() {
+        let tables = e12_geometry(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        // Every f-boundedness ratio is at most 1.
+        for row in &tables[0].rows {
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(ratio <= 1.0, "f-boundedness ratio {ratio} > 1");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! E9: true locality — guarantees depend on local parameters, not `n`.
+//!
+//! The paper's programmatic point (Section 1, "True Locality"): time
+//! complexity and error bounds should be functions of local quantities
+//! (Δ, ε, r), never of the network size `n`. We grow a constant-density
+//! deployment by an order of magnitude and verify that every measured
+//! quantity — degree bound, seed agreement rounds and δ, `LBAlg` phase
+//! length, and per-neighborhood progress success — stays flat.
+
+use super::Scale;
+use crate::runner::run_trials;
+use crate::stats::{Proportion, Summary};
+use crate::table::{fnum, Table};
+use local_broadcast::config::LbConfig;
+use local_broadcast::service::{build_engine, QueueWorkload};
+use local_broadcast::spec;
+use radio_sim::engine::Engine;
+use radio_sim::environment::NullEnvironment;
+use radio_sim::graph::NodeId;
+use radio_sim::scheduler;
+use radio_sim::topology::{self, Topology};
+use radio_sim::trace::RecordingPolicy;
+use seed_agreement::alg::SeedProcess;
+use seed_agreement::{spec as seed_spec, SeedConfig};
+
+/// Picks a broadcaster with at least one reliable neighbor, nearest the
+/// deployment's centroid (a "typical" local node).
+fn central_sender(topo: &Topology) -> Option<NodeId> {
+    let n = topo.graph.len();
+    if n == 0 {
+        return None;
+    }
+    let (mut cx, mut cy) = (0.0, 0.0);
+    for p in topo.embedding.iter() {
+        cx += p.x;
+        cy += p.y;
+    }
+    let (cx, cy) = (cx / n as f64, cy / n as f64);
+    topo.graph
+        .vertices()
+        .filter(|v| !topo.graph.reliable_neighbors(*v).is_empty())
+        .min_by(|a, b| {
+            let da = (topo.embedding.position(a.0).x - cx).powi(2)
+                + (topo.embedding.position(a.0).y - cy).powi(2);
+            let db = (topo.embedding.position(b.0).x - cx).powi(2)
+                + (topo.embedding.position(b.0).y - cy).powi(2);
+            da.partial_cmp(&db).expect("finite")
+        })
+}
+
+/// E9 measurement at one network size.
+struct LocalityRow {
+    n: usize,
+    delta: usize,
+    seed_rounds: u64,
+    max_delta_observed: f64,
+    phase_len: u64,
+    progress: Proportion,
+}
+
+fn measure(n: usize, trials: usize, base_seed: u64) -> LocalityRow {
+    let density = 8.0;
+    let r = 1.5;
+    let topo = topology::constant_density(n, density, r, 97);
+    let seed_cfg = SeedConfig::practical(0.125, 64);
+    let lb_cfg = LbConfig::practical(0.25);
+    let delta = topo.graph.delta();
+    let params = lb_cfg.resolve(topo.r, delta, topo.graph.delta_prime());
+
+    // Seed agreement δ.
+    let owners: Vec<f64> = run_trials(trials, base_seed, |s| {
+        let procs: Vec<SeedProcess> = (0..topo.graph.len())
+            .map(|_| SeedProcess::new(seed_cfg.clone()))
+            .collect();
+        let mut engine = Engine::new(
+            topo.configuration(Box::new(scheduler::AllExtraEdges)),
+            procs,
+            Box::new(NullEnvironment),
+            s,
+        );
+        engine.run(seed_cfg.total_rounds(delta));
+        seed_spec::owners_per_neighborhood(engine.trace(), &topo.graph)
+            .expect("well-formed")
+            .into_iter()
+            .max()
+            .unwrap_or(0) as f64
+    });
+
+    // LBAlg progress around a central sender.
+    let sender = central_sender(&topo).expect("network has a connected node");
+    let phases = 3;
+    let results = run_trials(trials, base_seed + 37, |s| {
+        let env = QueueWorkload::uniform(topo.graph.len(), &[sender], 1_000);
+        let mut engine = build_engine(
+            &topo,
+            Box::new(scheduler::BernoulliEdges::new(0.5, s)),
+            &lb_cfg,
+            Box::new(env),
+            s,
+            RecordingPolicy::full(),
+        );
+        engine.run(params.phase_len() * phases);
+        let trace = engine.into_trace();
+        let outcomes = spec::progress_outcomes(&trace, &topo.graph, params.phase_len())
+            .expect("well-formed");
+        (
+            outcomes.iter().filter(|o| o.received).count(),
+            outcomes.len(),
+        )
+    });
+    let ok: usize = results.iter().map(|(o, _)| o).sum();
+    let total: usize = results.iter().map(|(_, t)| t).sum();
+
+    LocalityRow {
+        n,
+        delta,
+        seed_rounds: seed_cfg.total_rounds(delta),
+        max_delta_observed: Summary::of(&owners).mean,
+        phase_len: params.phase_len(),
+        progress: Proportion::wilson(ok, total.max(1)),
+    }
+}
+
+/// E9: all columns flat as `n` grows 16×.
+pub fn e9_locality(scale: Scale) -> Vec<Table> {
+    let trials = scale.pick(3, 15);
+    let sizes = match scale {
+        Scale::Quick => vec![64usize, 144],
+        Scale::Full => vec![64, 256, 1024],
+    };
+    let mut t = Table::new(
+        "E9",
+        "locality: guarantees vs network size at constant density",
+        "every column except n stays flat: no quantity inherits a dependence on n",
+        vec![
+            "n",
+            "Δ",
+            "seed rounds",
+            "mean max δ",
+            "t_prog (rounds)",
+            "progress rate [wilson]",
+        ],
+    );
+    for (i, &n) in sizes.iter().enumerate() {
+        let row = measure(n, trials, 40_000 + i as u64 * 500);
+        t.push_row(vec![
+            row.n.to_string(),
+            row.delta.to_string(),
+            row.seed_rounds.to_string(),
+            fnum(row.max_delta_observed),
+            row.phase_len.to_string(),
+            format!(
+                "{} [{}, {}]",
+                fnum(row.progress.estimate),
+                fnum(row.progress.lo),
+                fnum(row.progress.hi)
+            ),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn central_sender_picks_connected_node() {
+        let topo = topology::constant_density(64, 8.0, 1.5, 97);
+        let s = central_sender(&topo).unwrap();
+        assert!(!topo.graph.reliable_neighbors(s).is_empty());
+    }
+
+    #[test]
+    fn e9_quick_rows_have_flat_delta() {
+        let tables = e9_locality(Scale::Quick);
+        let rows = &tables[0].rows;
+        assert_eq!(rows.len(), 2);
+        // Δ at 2.25x size should not grow 2x.
+        let d0: f64 = rows[0][1].parse().unwrap();
+        let d1: f64 = rows[1][1].parse().unwrap();
+        assert!(d1 < d0 * 2.0, "Δ grew with n: {d0} -> {d1}");
+    }
+}

@@ -1,0 +1,172 @@
+//! E11: the abstract MAC layer port.
+//!
+//! Algorithms written against the abstract MAC interface (flood
+//! broadcast, neighbor discovery, leader election) run unchanged over the
+//! `LBAlg`-backed layer on dual graphs — the composition the paper's
+//! introduction promises. We measure flood completion time against the
+//! `hops × f_ack` prediction and discovery/election success rates.
+
+use super::Scale;
+use crate::runner::run_trials;
+use crate::stats::{Proportion, Summary};
+use crate::table::{fnum, Table};
+use amac::adapter::LbMac;
+use amac::AbstractMac;
+use amac::apps::{elect_leader, flood_broadcast, neighbor_discovery};
+use local_broadcast::config::LbConfig;
+use radio_sim::graph::NodeId;
+use radio_sim::scheduler;
+use radio_sim::topology;
+
+/// E11 tables.
+pub fn e11_amac_port(scale: Scale) -> Vec<Table> {
+    let trials = scale.pick(4, 20);
+    let cfg = LbConfig::with_constants(0.25, 1.0, 2.0, 1.0);
+
+    // Flood along a path: completion ≈ diameter × f_ack.
+    let mut t1 = Table::new(
+        "E11a",
+        "flood broadcast completion over LBAlg-backed MAC (paths)",
+        "completion time scales with path length × f_ack (one ack per relay hop)",
+        vec![
+            "path length",
+            "f_ack (rounds)",
+            "complete",
+            "mean completion",
+            "completion / (hops·f_ack)",
+        ],
+    );
+    let lengths = match scale {
+        Scale::Quick => vec![3usize, 4],
+        Scale::Full => vec![3, 5, 8],
+    };
+    for (i, &len) in lengths.iter().enumerate() {
+        let topo = topology::line(len, 0.9, 1.0);
+        let results = run_trials(trials, 60_000 + i as u64 * 100, |s| {
+            let mut mac = LbMac::new(
+                &topo,
+                Box::new(scheduler::BernoulliEdges::new(0.5, s)),
+                cfg.clone(),
+                s,
+            );
+            let f_ack = mac.params().t_ack_rounds();
+            let horizon = f_ack * (len as u64 + 4) * 2;
+            let out = flood_broadcast(&mut mac, &[NodeId(0)], 1, horizon);
+            (out.complete(1), out.completed_at, f_ack)
+        });
+        let complete = results.iter().filter(|(c, _, _)| *c).count();
+        let f_ack = results[0].2;
+        let times: Vec<f64> = results
+            .iter()
+            .filter_map(|(_, t, _)| t.map(|v| v as f64))
+            .collect();
+        let hops = (len - 1) as f64;
+        let mean = if times.is_empty() {
+            f64::NAN
+        } else {
+            Summary::of(&times).mean
+        };
+        t1.push_row(vec![
+            len.to_string(),
+            f_ack.to_string(),
+            format!("{complete}/{trials}"),
+            fnum(mean),
+            fnum(mean / (hops * f_ack as f64)),
+        ]);
+    }
+
+    // Discovery and election success rates on small meshes.
+    let mut t2 = Table::new(
+        "E11b",
+        "neighbor discovery, leader election & consensus over the ported layer",
+        "discovery supersets reliable neighborhoods w.h.p.; election converges to the max id within diameter hops; consensus reaches agreement on the max-id value",
+        vec![
+            "topology",
+            "discovery complete",
+            "election correct",
+            "consensus agrees",
+        ],
+    );
+    let cases: Vec<(&str, topology::Topology, u32)> = vec![
+        ("clique-4", topology::clique(4, 1.0), 1),
+        ("line-3", topology::line(3, 0.9, 1.0), 3),
+        ("grid-2x3", topology::grid(2, 3, 0.9, 2.0), 4),
+    ];
+    for (j, (name, topo, hops)) in cases.into_iter().enumerate() {
+        let results = run_trials(trials, 61_000 + j as u64 * 100, |s| {
+            let mut mac = LbMac::new(
+                &topo,
+                Box::new(scheduler::BernoulliEdges::new(0.3, s)),
+                cfg.clone(),
+                s,
+            );
+            let heard = neighbor_discovery(&mut mac, 2);
+            let discovery_ok = topo.graph.vertices().all(|u| {
+                topo.graph
+                    .reliable_neighbors(u)
+                    .iter()
+                    .all(|v| heard[u.0].contains(&(v.0 as u64)))
+            });
+            let mut mac2 = LbMac::new(
+                &topo,
+                Box::new(scheduler::BernoulliEdges::new(0.3, s ^ 0xE11)),
+                cfg.clone(),
+                s ^ 0xE11,
+            );
+            let leaders = elect_leader(&mut mac2, hops);
+            let max_id = (topo.graph.len() - 1) as u64;
+            let election_ok = leaders.iter().all(|&l| l == max_id);
+
+            let mut mac3 = LbMac::new(
+                &topo,
+                Box::new(scheduler::BernoulliEdges::new(0.3, s ^ 0xC0)),
+                cfg.clone(),
+                s ^ 0xC0,
+            );
+            let initial: Vec<u64> =
+                (0..topo.graph.len() as u64).map(|v| 100 + v).collect();
+            let horizon = mac3.f_ack() * (u64::from(hops) + 3) * 4;
+            let out = amac::consensus::flood_consensus(
+                &mut mac3,
+                &initial,
+                hops + 1,
+                horizon,
+            );
+            let consensus_ok = out.agreement()
+                && out.validity(&initial)
+                && out.decisions.iter().all(|d| d.is_some());
+            (discovery_ok, election_ok, consensus_ok)
+        });
+        let disc = results.iter().filter(|(d, _, _)| *d).count();
+        let elec = results.iter().filter(|(_, e, _)| *e).count();
+        let cons = results.iter().filter(|(_, _, c)| *c).count();
+        let dp = Proportion::wilson(disc, trials);
+        let ep = Proportion::wilson(elec, trials);
+        let cp = Proportion::wilson(cons, trials);
+        t2.push_row(vec![
+            name.into(),
+            format!("{disc}/{trials} ({})", fnum(dp.estimate)),
+            format!("{elec}/{trials} ({})", fnum(ep.estimate)),
+            format!("{cons}/{trials} ({})", fnum(cp.estimate)),
+        ]);
+    }
+
+    vec![t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_quick_mostly_completes() {
+        let tables = e11_amac_port(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        for row in &tables[0].rows {
+            let (ok, total) = row[2].split_once('/').expect("fraction");
+            let ok: usize = ok.parse().unwrap();
+            let total: usize = total.parse().unwrap();
+            assert!(ok * 2 >= total, "flood mostly completes: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Seed agreement experiments: E1 (δ bound), E2 (round complexity),
+//! E3 (spec conformance), E10 (goodness dynamics).
+
+use super::Scale;
+use crate::runner::run_trials;
+use crate::stats::{linear_fit, Summary};
+use crate::table::{fnum, Table};
+use radio_sim::engine::Engine;
+use radio_sim::environment::NullEnvironment;
+use radio_sim::scheduler;
+use radio_sim::topology::{self, Topology};
+use seed_agreement::alg::SeedProcess;
+use seed_agreement::{goodness, spec, SeedConfig};
+
+/// Runs SeedAlg to completion on `topo`, returning the engine (trace and
+/// processes inside).
+fn run_seed(
+    topo: &Topology,
+    cfg: &SeedConfig,
+    sched: Box<dyn scheduler::LinkScheduler>,
+    master_seed: u64,
+) -> Engine<SeedProcess> {
+    let n = topo.graph.len();
+    let total = cfg.total_rounds(topo.graph.delta());
+    let procs: Vec<SeedProcess> = (0..n).map(|_| SeedProcess::new(cfg.clone())).collect();
+    let mut engine = Engine::new(
+        topo.configuration(sched),
+        procs,
+        Box::new(NullEnvironment),
+        master_seed,
+    );
+    engine.run(total);
+    engine
+}
+
+/// Max distinct owners over all neighborhoods in one trial.
+fn max_owners(topo: &Topology, cfg: &SeedConfig, master_seed: u64) -> usize {
+    let engine = run_seed(topo, cfg, Box::new(scheduler::AllExtraEdges), master_seed);
+    max_owners_of_trace(engine.trace(), topo)
+}
+
+fn max_owners_of_trace(trace: &seed_agreement::SeedTrace, topo: &Topology) -> usize {
+    spec::owners_per_neighborhood(trace, &topo.graph)
+        .expect("well-formed execution")
+        .into_iter()
+        .max()
+        .unwrap_or(0)
+}
+
+/// E1: δ grows with log(1/ε₁) and stays flat in Δ.
+pub fn e1_delta_bound(scale: Scale) -> Vec<Table> {
+    let trials = scale.pick(8, 60);
+
+    // Table 1: sweep ε₁ at fixed topology.
+    let topo = topology::random_geometric(topology::RggParams {
+        n: scale.pick(60, 150),
+        side: 4.0,
+        r: 2.0,
+        grey_reliable_p: 0.1,
+        grey_unreliable_p: 0.8,
+        seed: 11,
+    });
+    let n_nodes = topo.graph.len();
+    let mut t1 = Table::new(
+        "E1a",
+        "distinct seed owners per G'-neighborhood vs ε₁",
+        "Agreement (Spec condition 3) is per-vertex probabilistic: Pr(owners > δ) ≤ ε for δ = c_δ·r²·log₂(1/ε₁); the violation rate column must stay below ε₁ (calibration c_δ = 1.5)",
+        vec![
+            "ε₁",
+            "δ bound (c_δ=1.5, r=2)",
+            "mean max δ",
+            "per-vertex violation rate",
+            "rate ≤ ε₁?",
+        ],
+    );
+    for (i, &eps) in [0.25, 1.0 / 16.0, 1.0 / 64.0, 1.0 / 256.0].iter().enumerate() {
+        let cfg = SeedConfig::practical(eps, 64);
+        let bound = cfg.delta_bound(2.0, 1.5);
+        let results = run_trials(trials, 1000 + i as u64 * 100, |s| {
+            let engine = run_seed(&topo, &cfg, Box::new(scheduler::AllExtraEdges), s);
+            let violations =
+                spec::agreement_violations(engine.trace(), &topo.graph, bound)
+                    .expect("well-formed execution");
+            (max_owners_of_trace(engine.trace(), &topo), violations)
+        });
+        let maxes: Vec<f64> = results.iter().map(|(m, _)| *m as f64).collect();
+        let violations: usize = results.iter().map(|(_, v)| v).sum();
+        let rate = violations as f64 / (trials * n_nodes) as f64;
+        t1.push_row(vec![
+            format!("{eps}"),
+            bound.to_string(),
+            fnum(Summary::of(&maxes).mean),
+            fnum(rate),
+            if rate <= eps { "yes".into() } else { "NO".into() },
+        ]);
+    }
+
+    // Table 2: sweep Δ (clique size) at fixed ε₁.
+    let cfg = SeedConfig::practical(0.0625, 64);
+    let mut t2 = Table::new(
+        "E1b",
+        "max distinct seed owners vs Δ (cliques, ε₁ = 1/16)",
+        "δ is independent of Δ: the column stays flat as Δ grows",
+        vec!["Δ", "mean max δ", "p95 max δ"],
+    );
+    for (i, &n) in [8usize, 16, 32, scale.pick(32, 64), scale.pick(32, 128)]
+        .iter()
+        .enumerate()
+    {
+        let topo = topology::clique(n, 1.0);
+        let results: Vec<f64> = run_trials(trials, 2000 + i as u64 * 100, |s| {
+            max_owners(&topo, &cfg, s) as f64
+        });
+        let sum = Summary::of(&results);
+        t2.push_row(vec![n.to_string(), fnum(sum.mean), fnum(sum.p95)]);
+    }
+
+    vec![t1, t2]
+}
+
+/// E2: round complexity O(log Δ · log²(1/ε₁)) — the formula, plus the
+/// empirically observed last-decision round.
+pub fn e2_round_complexity(scale: Scale) -> Vec<Table> {
+    let trials = scale.pick(6, 40);
+
+    let mut t1 = Table::new(
+        "E2a",
+        "SeedAlg rounds vs Δ (ε₁ = 1/16)",
+        "total rounds grow linearly in log₂ Δ; last decision within the bound",
+        vec!["Δ", "log₂ Δ̂", "bound (rounds)", "mean last decide", "max last decide"],
+    );
+    let cfg = SeedConfig::practical(0.0625, 64);
+    let mut pts = Vec::new();
+    for (i, &n) in [4usize, 8, 16, 32, scale.pick(32, 64)].iter().enumerate() {
+        let topo = topology::clique(n, 1.0);
+        let bound = cfg.total_rounds(topo.graph.delta());
+        let last: Vec<f64> = run_trials(trials, 3000 + i as u64 * 100, |s| {
+            let engine = run_seed(&topo, &cfg, Box::new(scheduler::AllExtraEdges), s);
+            engine
+                .trace()
+                .outputs()
+                .map(|(round, _, _)| round)
+                .max()
+                .unwrap_or(0) as f64
+        });
+        let sum = Summary::of(&last);
+        let lg = f64::from(cfg.phases(topo.graph.delta()));
+        pts.push((lg, bound as f64));
+        t1.push_row(vec![
+            n.to_string(),
+            fnum(lg),
+            bound.to_string(),
+            fnum(sum.mean),
+            fnum(sum.max),
+        ]);
+        assert!(sum.max <= bound as f64, "decisions exceeded the bound");
+    }
+    let (_, slope, r2) = linear_fit(&pts);
+    t1.push_row(vec![
+        "fit".into(),
+        "—".into(),
+        format!("slope {}", fnum(slope)),
+        format!("r² {}", fnum(r2)),
+        "—".into(),
+    ]);
+
+    let mut t2 = Table::new(
+        "E2b",
+        "SeedAlg rounds vs ε₁ (Δ = 16)",
+        "total rounds grow quadratically in log₂(1/ε₁): rounds / log² is flat",
+        vec!["ε₁", "log₂(1/ε₁)", "bound (rounds)", "bound / log₂²(1/ε₁)"],
+    );
+    let topo = topology::clique(16, 1.0);
+    for &eps in &[0.25, 1.0 / 16.0, 1.0 / 64.0, 1.0 / 256.0] {
+        let cfg = SeedConfig::practical(eps, 64);
+        let bound = cfg.total_rounds(topo.graph.delta());
+        let lg = (1.0 / eps).log2();
+        t2.push_row(vec![
+            format!("{eps}"),
+            fnum(lg),
+            bound.to_string(),
+            fnum(bound as f64 / (lg * lg)),
+        ]);
+    }
+
+    vec![t1, t2]
+}
+
+/// E3: deterministic spec conditions hold in every execution, across the
+/// whole oblivious scheduler family; committed seeds look uniform.
+pub fn e3_spec_conformance(scale: Scale) -> Vec<Table> {
+    let trials = scale.pick(5, 30);
+    let cfg = SeedConfig::practical(0.125, 64);
+
+    let mut t = Table::new(
+        "E3",
+        "Seed spec deterministic conditions across schedulers",
+        "zero violations of well-formedness/consistency/fidelity in every execution; max seed-bit bias ≈ 0",
+        vec![
+            "scheduler",
+            "trials",
+            "wf violations",
+            "consistency violations",
+            "fidelity violations",
+            "max bit bias",
+        ],
+    );
+
+    let topo = topology::random_geometric(topology::RggParams {
+        n: scale.pick(40, 100),
+        side: 3.5,
+        r: 2.0,
+        grey_reliable_p: 0.1,
+        grey_unreliable_p: 0.8,
+        seed: 21,
+    });
+
+    let sched_names: Vec<&'static str> = scheduler::oblivious_family(0)
+        .iter()
+        .map(|s| s.name())
+        .collect();
+    for (si, name) in sched_names.iter().enumerate() {
+        let mut wf = 0usize;
+        let mut cons = 0usize;
+        let mut fid = 0usize;
+        let mut seeds_all = Vec::new();
+        let results = run_trials(trials, 4000 + si as u64 * 100, |s| {
+            let sched = scheduler::oblivious_family(s)
+                .remove(si);
+            let engine = run_seed(&topo, &cfg, sched, s);
+            let trace = engine.trace();
+            let wf_bad = spec::check_well_formedness(trace).is_err();
+            let cons_bad = spec::check_consistency(trace).is_err();
+            let fid_bad = spec::check_owner_seed_fidelity(trace).is_err();
+            let seeds: Vec<seed_agreement::Seed> = engine
+                .processes()
+                .iter()
+                .filter_map(|p| p.initial_seed().cloned())
+                .collect();
+            (wf_bad, cons_bad, fid_bad, seeds)
+        });
+        for (w, c, f, seeds) in results {
+            wf += usize::from(w);
+            cons += usize::from(c);
+            fid += usize::from(f);
+            seeds_all.extend(seeds);
+        }
+        let refs: Vec<&seed_agreement::Seed> = seeds_all.iter().collect();
+        let bias = spec::max_bit_bias(&refs);
+        t.push_row(vec![
+            (*name).into(),
+            trials.to_string(),
+            wf.to_string(),
+            cons.to_string(),
+            fid.to_string(),
+            fnum(bias),
+        ]);
+    }
+    vec![t]
+}
+
+/// E10: region-of-goodness dynamics (Appendix B).
+pub fn e10_goodness(scale: Scale) -> Vec<Table> {
+    let trials = scale.pick(6, 40);
+    let mut t = Table::new(
+        "E10",
+        "region goodness across SeedAlg phases",
+        "phase 1 always good (Lemma B.2); goodness persists (B.8); per-phase leaders ≤ O(log 1/ε₁) (B.6)",
+        vec![
+            "ε₁",
+            "phase-1 good",
+            "mean good fraction",
+            "mean max leaders/phase",
+            "c₃·log₂(1/ε₁) (bound, c₃=2)",
+        ],
+    );
+    let topo = topology::random_geometric(topology::RggParams {
+        n: scale.pick(80, 200),
+        side: 3.0,
+        r: 2.0,
+        grey_reliable_p: 0.1,
+        grey_unreliable_p: 0.8,
+        seed: 31,
+    });
+    for (i, &eps) in [0.25, 0.0625, 1.0 / 64.0].iter().enumerate() {
+        let cfg = SeedConfig::practical(eps, 64);
+        let results = run_trials(trials, 5000 + i as u64 * 100, |s| {
+            let engine = run_seed(&topo, &cfg, Box::new(scheduler::AllExtraEdges), s);
+            let report = goodness::analyze(&topo, engine.processes(), &cfg, 4.0);
+            (
+                report.all_good_in_phase_one(),
+                report.good_fraction(),
+                report.max_leaders_per_phase() as f64,
+            )
+        });
+        let phase1 = results.iter().filter(|(g, _, _)| *g).count();
+        let fractions: Vec<f64> = results.iter().map(|(_, f, _)| *f).collect();
+        let leaders: Vec<f64> = results.iter().map(|(_, _, l)| *l).collect();
+        t.push_row(vec![
+            format!("{eps}"),
+            format!("{phase1}/{trials}"),
+            fnum(Summary::of(&fractions).mean),
+            fnum(Summary::of(&leaders).mean),
+            fnum(2.0 * (1.0 / eps).log2()),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_quick_produces_two_tables() {
+        let tables = e1_delta_bound(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].rows.len() >= 4);
+        assert!(tables[1].rows.len() >= 4);
+    }
+
+    #[test]
+    fn e2_quick_respects_bound() {
+        // e2 asserts internally that decisions occur within the bound.
+        let tables = e2_round_complexity(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+    }
+
+    #[test]
+    fn e3_quick_has_zero_violations() {
+        let tables = e3_spec_conformance(Scale::Quick);
+        for row in &tables[0].rows {
+            assert_eq!(row[2], "0", "well-formedness violated: {row:?}");
+            assert_eq!(row[3], "0", "consistency violated: {row:?}");
+            assert_eq!(row[4], "0", "fidelity violated: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e10_quick_phase_one_always_good() {
+        let tables = e10_goodness(Scale::Quick);
+        for row in &tables[0].rows {
+            let (num, den) = row[1].split_once('/').expect("fraction");
+            assert_eq!(num, den, "phase-1 goodness failed: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # analysis: Monte-Carlo harness and the experiment suite
+//!
+//! The paper proves its guarantees; it prints no tables or figures. The
+//! reproduction therefore defines one **experiment per quantitative
+//! claim** (see DESIGN.md §4 and EXPERIMENTS.md) and measures each by
+//! Monte-Carlo estimation over seeded, deterministic trials.
+//!
+//! * [`stats`] — summaries, proportion confidence intervals, and the
+//!   log-scaling fits used to verify asymptotic *shape*.
+//! * [`runner`] — embarrassingly parallel trial execution.
+//! * [`table`] — experiment output as aligned text / markdown / CSV.
+//! * [`experiments`] — the E1–E12 suite, each returning [`table::Table`]s
+//!   that the `bench` crate's binaries print and EXPERIMENTS.md records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod stats;
+pub mod table;

@@ -1,0 +1,208 @@
+//! Statistics for Monte-Carlo experiment evaluation.
+
+use serde::Serialize;
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n ≤ 1).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (linear interpolation).
+    pub median: f64,
+    /// 95th percentile (linear interpolation).
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample or non-finite values.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "sample contains non-finite values"
+        );
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            median: quantile_sorted(&sorted, 0.5),
+            p95: quantile_sorted(&sorted, 0.95),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Quantile `q ∈ [0,1]` of a pre-sorted sample, with linear interpolation.
+///
+/// # Panics
+///
+/// Panics on an empty sample or `q` outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// A binomial proportion with its Wilson 95% confidence interval —
+/// used for empirical error/success probabilities against the ε budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Proportion {
+    /// Successes.
+    pub successes: usize,
+    /// Trials.
+    pub trials: usize,
+    /// Point estimate `successes / trials`.
+    pub estimate: f64,
+    /// Wilson interval lower bound.
+    pub lo: f64,
+    /// Wilson interval upper bound.
+    pub hi: f64,
+}
+
+impl Proportion {
+    /// Computes the proportion and its Wilson 95% interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` or `successes > trials`.
+    pub fn wilson(successes: usize, trials: usize) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        assert!(successes <= trials);
+        let z = 1.959_963_984_540_054f64; // 97.5th normal quantile
+        let n = trials as f64;
+        let p = successes as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+        Proportion {
+            successes,
+            trials,
+            estimate: p,
+            lo: (center - half).max(0.0),
+            hi: (center + half).min(1.0),
+        }
+    }
+}
+
+/// Ordinary least squares fit `y ≈ a + b·x`, returning `(a, b, r²)`.
+///
+/// The experiments verify scaling *shapes* by fitting measured quantities
+/// against the predictor the theorem names (e.g. rounds vs `log Δ`) and
+/// checking the fit explains the data (`r²` close to 1) with a positive
+/// slope.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or all `x` are equal.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let n = points.len() as f64;
+    let mx = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let my = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|(x, _)| (x - mx).powi(2)).sum();
+    assert!(sxx > 0.0, "all x values identical");
+    let sxy: f64 = points.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
+    let b = sxy / sxx;
+    let a = my - b * mx;
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - my).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|(x, y)| (y - (a + b * x)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (a, b, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&sorted, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_estimate() {
+        let p = Proportion::wilson(90, 100);
+        assert!((p.estimate - 0.9).abs() < 1e-12);
+        assert!(p.lo < 0.9 && 0.9 < p.hi);
+        assert!(p.lo > 0.8 && p.hi < 0.96);
+    }
+
+    #[test]
+    fn wilson_handles_extremes() {
+        let zero = Proportion::wilson(0, 50);
+        assert_eq!(zero.estimate, 0.0);
+        assert!(zero.lo == 0.0 && zero.hi > 0.0);
+        let one = Proportion::wilson(50, 50);
+        assert_eq!(one.estimate, 1.0);
+        assert!(one.hi == 1.0 && one.lo < 1.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (a, b, r2) = linear_fit(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_r2_degrades_with_noise() {
+        let pts = [(0.0, 0.0), (1.0, 5.0), (2.0, 1.0), (3.0, 8.0)];
+        let (_, _, r2) = linear_fit(&pts);
+        assert!(r2 < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the statistics toolkit.
+
+use analysis::stats::{linear_fit, quantile_sorted, Proportion, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn summary_orderings_hold(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&values);
+        prop_assert!(s.min <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.n, values.len());
+    }
+
+    #[test]
+    fn summary_of_constant_sample_is_degenerate(c in -1e3f64..1e3, n in 1usize..50) {
+        let s = Summary::of(&vec![c; n]);
+        prop_assert!((s.mean - c).abs() < 1e-9);
+        prop_assert!(s.std_dev.abs() < 1e-9);
+        prop_assert!((s.median - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(
+        mut values in proptest::collection::vec(-1e4f64..1e4, 2..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile_sorted(&values, lo) <= quantile_sorted(&values, hi) + 1e-9);
+    }
+
+    #[test]
+    fn wilson_interval_contains_estimate(successes in 0usize..500, extra in 1usize..500) {
+        let trials = successes + extra;
+        let p = Proportion::wilson(successes, trials);
+        prop_assert!(p.lo <= p.estimate + 1e-9);
+        prop_assert!(p.estimate <= p.hi + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&p.lo));
+        prop_assert!((0.0..=1.0).contains(&p.hi));
+    }
+
+    #[test]
+    fn wilson_interval_shrinks_with_more_trials(successes_rate in 0.1f64..0.9) {
+        let small_n = 20usize;
+        let large_n = 2000usize;
+        let s_small = (successes_rate * small_n as f64) as usize;
+        let s_large = (successes_rate * large_n as f64) as usize;
+        let small = Proportion::wilson(s_small, small_n);
+        let large = Proportion::wilson(s_large, large_n);
+        prop_assert!(large.hi - large.lo < small.hi - small.lo);
+    }
+
+    #[test]
+    fn linear_fit_is_exact_on_lines(
+        a in -100.0f64..100.0,
+        b in -100.0f64..100.0,
+        n in 3usize..50,
+    ) {
+        let pts: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, a + b * i as f64)).collect();
+        let (fa, fb, r2) = linear_fit(&pts);
+        prop_assert!((fa - a).abs() < 1e-6 * (1.0 + a.abs()));
+        prop_assert!((fb - b).abs() < 1e-6 * (1.0 + b.abs()));
+        prop_assert!(r2 > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn linear_fit_r2_bounded(points in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..40)) {
+        // Need at least two distinct x values.
+        prop_assume!(points.windows(2).any(|w| (w[0].0 - w[1].0).abs() > 1e-6));
+        let (_, _, r2) = linear_fit(&points);
+        prop_assert!(r2 <= 1.0 + 1e-9);
+    }
+}

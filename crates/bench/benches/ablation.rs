@@ -1,0 +1,63 @@
+//! Ablation benchmarks (experiment E13): the cost of one streamed phase
+//! under (a) different seed-agreement amortization factors `k` and
+//! (b) agreement vs private seeds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use local_broadcast::config::LbConfig;
+use local_broadcast::service::{build_engine, QueueWorkload};
+use radio_sim::graph::NodeId;
+use radio_sim::scheduler;
+use radio_sim::topology;
+use radio_sim::trace::RecordingPolicy;
+
+fn run_one_phase(cfg: &LbConfig, seed: u64) -> usize {
+    let topo = topology::clique(8, 1.0);
+    let params = cfg.resolve(topo.r, topo.graph.delta(), topo.graph.delta_prime());
+    let env = QueueWorkload::uniform(8, &[NodeId(0)], 1_000);
+    let mut engine = build_engine(
+        &topo,
+        Box::new(scheduler::BernoulliEdges::new(0.5, seed)),
+        cfg,
+        Box::new(env),
+        seed,
+        RecordingPolicy::outputs_only(),
+    );
+    engine.run(params.phase_len());
+    engine.trace().outputs().count()
+}
+
+fn bench_seed_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/seed_reuse_one_phase");
+    for &k in &[1u32, 2, 4, 8] {
+        let cfg = LbConfig::practical(0.25).with_seed_reuse(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_one_phase(cfg, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_seed_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/seed_mode_one_phase");
+    let cases = [
+        ("agreement", LbConfig::practical(0.25)),
+        ("private", LbConfig::practical(0.25).with_private_seeds()),
+    ];
+    for (name, cfg) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_one_phase(cfg, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seed_reuse, bench_seed_mode);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmarks of the abstract MAC layer port (experiment E11): flooding a
+//! message down a path of relays over the `LBAlg`-backed layer.
+
+use amac::adapter::LbMac;
+use amac::apps::flood_broadcast;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use local_broadcast::config::LbConfig;
+use radio_sim::graph::NodeId;
+use radio_sim::scheduler;
+use radio_sim::topology;
+
+fn bench_flood_on_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amac/flood_path");
+    group.sample_size(10);
+    for &len in &[3usize, 5] {
+        let topo = topology::line(len, 0.9, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &topo, |b, topo| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut mac = LbMac::new(
+                    topo,
+                    Box::new(scheduler::AllExtraEdges),
+                    LbConfig::fast(0.25),
+                    seed,
+                );
+                let horizon = mac.params().t_ack_rounds() * (len as u64 + 4) * 2;
+                flood_broadcast(&mut mac, &[NodeId(0)], 1, horizon).completed_at
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flood_on_path);
+criterion_main!(benches);

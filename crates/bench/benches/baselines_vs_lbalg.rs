@@ -1,0 +1,86 @@
+//! Benchmarks of the E7/E8 adversarial kernels: a Decay baseline run
+//! under the anti-Decay pump, versus the same network under friendlier
+//! schedulers.
+
+use baselines::decay_process;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use local_broadcast::msg::{LbInput, Payload};
+use radio_sim::engine::Engine;
+use radio_sim::environment::ScriptedEnvironment;
+use radio_sim::graph::NodeId;
+use radio_sim::scheduler::{self, LinkScheduler, MaskedPump};
+use radio_sim::topology;
+
+fn decay_run(
+    topo: &radio_sim::topology::Topology,
+    senders: usize,
+    sched: Box<dyn LinkScheduler>,
+    rounds: u64,
+    master_seed: u64,
+) -> usize {
+    let n = topo.graph.len();
+    let procs: Vec<_> = (0..n).map(|_| decay_process(Some(rounds * 2))).collect();
+    let script: Vec<(u64, NodeId, LbInput)> = (1..=senders)
+        .map(|v| (1, NodeId(v), LbInput::Bcast(Payload::new(v as u64, 0))))
+        .collect();
+    let mut engine = Engine::new(
+        topo.configuration(sched),
+        procs,
+        Box::new(ScriptedEnvironment::new(script)),
+        master_seed,
+    );
+    engine.run(rounds);
+    engine.trace().outputs().count()
+}
+
+fn bench_decay_under_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline/decay_256_rounds");
+    let topo = topology::grey_sandwich(2, 16, 2.0);
+    let senders = 18;
+    let cases: Vec<(&str, fn() -> Box<dyn LinkScheduler>)> = vec![
+        ("pump", || {
+            Box::new(MaskedPump::against_decay_with_threshold(5, 0.2))
+        }),
+        ("all-edges", || Box::new(scheduler::AllExtraEdges)),
+        ("no-edges", || Box::new(scheduler::NoExtraEdges)),
+    ];
+    for (name, mk) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &topo, |b, topo| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                decay_run(topo, senders, mk(), 256, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_jammer(c: &mut Criterion) {
+    let topo = topology::grey_sandwich(1, 16, 2.0);
+    c.bench_function("baseline/decay_vs_greedy_jammer_256_rounds", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let n = topo.graph.len();
+            let procs: Vec<_> = (0..n).map(|_| decay_process(Some(600))).collect();
+            let script: Vec<(u64, NodeId, LbInput)> = (1..=17)
+                .map(|v| (1, NodeId(v), LbInput::Bcast(Payload::new(v as u64, 0))))
+                .collect();
+            let config = topo
+                .configuration(Box::new(scheduler::NoExtraEdges))
+                .with_adaptive(Box::new(scheduler::GreedyJammer));
+            let mut engine = Engine::new(
+                config,
+                procs,
+                Box::new(ScriptedEnvironment::new(script)),
+                seed,
+            );
+            engine.run(256);
+            engine.trace().outputs().count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_decay_under_schedulers, bench_adaptive_jammer);
+criterion_main!(benches);

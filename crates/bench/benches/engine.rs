@@ -1,0 +1,82 @@
+//! Microbenchmarks of the round engine: collision resolution throughput
+//! across topology sizes and scheduler kinds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_sim::engine::{Configuration, Engine};
+use radio_sim::environment::NullEnvironment;
+use radio_sim::process::{Action, Context, Process};
+use radio_sim::scheduler;
+use radio_sim::topology;
+
+/// A minimal process: transmits a counter with probability 1/4.
+struct Chatter;
+
+impl Process for Chatter {
+    type Msg = u64;
+    type Input = ();
+    type Output = ();
+
+    fn on_input(&mut self, _i: (), _ctx: &mut Context<'_>) {}
+
+    fn transmit(&mut self, ctx: &mut Context<'_>) -> Action<u64> {
+        use rand::Rng;
+        if ctx.rng.gen_bool(0.25) {
+            Action::Transmit(ctx.round)
+        } else {
+            Action::Receive
+        }
+    }
+
+    fn on_receive(&mut self, _m: Option<u64>, _ctx: &mut Context<'_>) {}
+
+    fn take_outputs(&mut self) -> Vec<()> {
+        Vec::new()
+    }
+}
+
+fn bench_round_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/rounds");
+    for &n in &[32usize, 128, 512] {
+        let topo = topology::random_geometric(topology::RggParams {
+            n,
+            side: (n as f64 / 8.0).sqrt().max(2.0),
+            r: 2.0,
+            grey_reliable_p: 0.1,
+            grey_unreliable_p: 0.8,
+            seed: 3,
+        });
+        group.bench_with_input(BenchmarkId::new("bernoulli-sched", n), &topo, |b, topo| {
+            b.iter(|| {
+                let procs: Vec<Chatter> = (0..topo.graph.len()).map(|_| Chatter).collect();
+                let mut engine = Engine::new(
+                    Configuration::new(
+                        topo.graph.clone(),
+                        Box::new(scheduler::BernoulliEdges::new(0.5, 9)),
+                    ),
+                    procs,
+                    Box::new(NullEnvironment),
+                    11,
+                );
+                engine.run(100);
+                engine.round()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("all-edges", n), &topo, |b, topo| {
+            b.iter(|| {
+                let procs: Vec<Chatter> = (0..topo.graph.len()).map(|_| Chatter).collect();
+                let mut engine = Engine::new(
+                    Configuration::new(topo.graph.clone(), Box::new(scheduler::AllExtraEdges)),
+                    procs,
+                    Box::new(NullEnvironment),
+                    11,
+                );
+                engine.run(100);
+                engine.round()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_throughput);
+criterion_main!(benches);

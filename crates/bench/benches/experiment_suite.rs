@@ -1,0 +1,28 @@
+//! One Criterion benchmark per experiment: times a full quick-scale run
+//! of each table generator (E1–E12), so `cargo bench` regenerates every
+//! table's workload and reports its cost.
+//!
+//! The actual table *values* are produced by the `experiments` binary
+//! (`cargo run -p bench --bin experiments`); this harness guards against
+//! performance regressions in the experiment pipeline itself.
+
+use analysis::experiments::{all, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments/quick");
+    group.sample_size(10);
+    for exp in all() {
+        group.bench_with_input(BenchmarkId::from_parameter(exp.id), &exp, |b, exp| {
+            b.iter(|| {
+                let tables = (exp.run)(Scale::Quick);
+                assert!(!tables.is_empty());
+                tables.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Benchmarks of `LBAlg` phase execution — the work unit behind
+//! experiments E4 (progress), E5 (acknowledgment), and E6 (Lemma 4.2
+//! reception probabilities).
+
+use bench::{lbalg_phases_trial, standard_rgg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use local_broadcast::config::LbConfig;
+use local_broadcast::service::run_single_broadcast;
+use radio_sim::graph::NodeId;
+use radio_sim::scheduler;
+use radio_sim::topology;
+
+fn bench_lbalg_phase_by_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lbalg/one_phase_by_delta");
+    for &n in &[4usize, 16, 64] {
+        let topo = topology::clique(n, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                lbalg_phases_trial(topo, 0.25, 1, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_broadcast_to_ack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lbalg/single_broadcast_to_ack");
+    group.sample_size(10);
+    for &n in &[4usize, 8] {
+        let topo = topology::clique(n, 1.0);
+        let cfg = LbConfig::fast(0.25);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_single_broadcast(
+                    topo,
+                    Box::new(scheduler::AllExtraEdges),
+                    &cfg,
+                    NodeId(0),
+                    seed,
+                )
+                .acked_at
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lbalg_on_rgg(c: &mut Criterion) {
+    let topo = standard_rgg(64);
+    c.bench_function("lbalg/one_phase_rgg64", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            lbalg_phases_trial(&topo, 0.25, 1, seed)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lbalg_phase_by_delta,
+    bench_single_broadcast_to_ack,
+    bench_lbalg_on_rgg
+);
+criterion_main!(benches);

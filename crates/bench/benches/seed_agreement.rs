@@ -1,0 +1,40 @@
+//! Benchmarks of one `SeedAlg` Monte-Carlo trial — the work unit behind
+//! experiments E1 (δ bound), E2 (round complexity), E3 (spec checks),
+//! and E10 (goodness instrumentation).
+
+use bench::{seed_alg_trial, standard_rgg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_sim::topology;
+
+fn bench_seed_alg_by_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seed_alg/by_delta");
+    for &n in &[8usize, 32, 128] {
+        let topo = topology::clique(n, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                seed_alg_trial(topo, 0.125, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_seed_alg_by_epsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seed_alg/by_epsilon");
+    let topo = standard_rgg(64);
+    for &eps in &[0.25, 0.0625, 1.0 / 64.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                seed_alg_trial(&topo, eps, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seed_alg_by_delta, bench_seed_alg_by_epsilon);
+criterion_main!(benches);

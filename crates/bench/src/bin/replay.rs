@@ -1,0 +1,88 @@
+//! Offline trace audit: load a saved execution bundle and re-check every
+//! deterministic `LB` specification condition, then print delivery and
+//! channel statistics.
+//!
+//! Bundles are produced by `simulate --save-trace PATH` (LBAlg runs);
+//! because executions are plain values, the audit needs no simulator —
+//! only the bundle.
+//!
+//! ```text
+//! cargo run --release -p bench --bin simulate -- \
+//!     --topo grid:3x3 --alg lbalg --senders 4 --save-trace /tmp/run.json
+//! cargo run --release -p bench --bin replay -- /tmp/run.json
+//! ```
+
+use bench::TraceBundle;
+use local_broadcast::spec;
+use std::process::exit;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: replay BUNDLE.json");
+        exit(2);
+    };
+    let data = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let bundle: TraceBundle =
+        serde_json::from_str(&data).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+
+    println!(
+        "bundle: n = {}, Δ = {}, Δ' = {}, r = {}, {} rounds, {} events",
+        bundle.graph.len(),
+        bundle.graph.delta(),
+        bundle.graph.delta_prime(),
+        bundle.r,
+        bundle.trace.rounds,
+        bundle.trace.events.len()
+    );
+
+    let mut failures = 0;
+    match spec::check_timely_ack(&bundle.trace, bundle.t_ack_rounds) {
+        Ok(()) => println!("timely acknowledgment (t_ack = {}): OK", bundle.t_ack_rounds),
+        Err(e) => {
+            failures += 1;
+            println!("timely acknowledgment: VIOLATED — {e}");
+        }
+    }
+    match spec::check_validity(&bundle.trace, &bundle.graph) {
+        Ok(()) => println!("validity: OK"),
+        Err(e) => {
+            failures += 1;
+            println!("validity: VIOLATED — {e}");
+        }
+    }
+    match spec::reliability_outcomes(&bundle.trace, &bundle.graph) {
+        Ok(outcomes) => {
+            let ok = outcomes.iter().filter(|o| o.success()).count();
+            println!("reliability: {ok}/{} broadcasts served all reliable neighbors", outcomes.len());
+        }
+        Err(e) => {
+            failures += 1;
+            println!("reliability evaluation failed: {e}");
+        }
+    }
+    match spec::progress_outcomes(&bundle.trace, &bundle.graph, bundle.t_prog_rounds) {
+        Ok(outcomes) => {
+            let ok = outcomes.iter().filter(|o| o.received).count();
+            println!(
+                "progress: {ok}/{} (node, phase) hypotheses satisfied (t_prog = {})",
+                outcomes.len(),
+                bundle.t_prog_rounds
+            );
+        }
+        Err(e) => {
+            failures += 1;
+            println!("progress evaluation failed: {e}");
+        }
+    }
+
+    let stats = bundle.trace.total_stats();
+    println!(
+        "channel totals: {} transmissions, {} deliveries, {} collisions, {} silent listens",
+        stats.transmitters, stats.deliveries, stats.collisions, stats.silent
+    );
+
+    if failures > 0 {
+        exit(1);
+    }
+}

@@ -1,0 +1,226 @@
+//! A command-line front end for the simulator: pick a topology, an
+//! algorithm, and a link scheduler; run; get delivery and channel
+//! statistics.
+//!
+//! ```text
+//! simulate [--topo clique:8|grid:4x4|line:6|ring:8|rgg:50] \
+//!          [--alg lbalg|decay|uniform:0.3] \
+//!          [--sched all|none|bernoulli:0.5|alternating:3:5|pump:8] \
+//!          [--senders 0,3] [--rounds 2000] [--eps 0.25] [--seed 7] \
+//!          [--save-trace PATH]   # LBAlg runs: bundle for `replay`
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! cargo run --release -p bench --bin simulate -- \
+//!     --topo grid:4x4 --alg lbalg --sched bernoulli:0.5 --senders 5
+//! ```
+
+use baselines::{decay_process, uniform_process, FixedScheduleProcess};
+use local_broadcast::alg::LbProcess;
+use local_broadcast::config::LbConfig;
+use local_broadcast::msg::{LbOutput, Payload};
+use local_broadcast::service::QueueWorkload;
+use radio_sim::engine::Engine;
+use radio_sim::graph::NodeId;
+use radio_sim::scheduler::{self, ContentionPump, LinkScheduler};
+use radio_sim::topology::{self, Topology};
+use radio_sim::trace::{RecordingPolicy, Trace};
+use std::collections::VecDeque;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--topo clique:8|grid:RxC|line:N|ring:N|rgg:N] \
+         [--alg lbalg|decay|uniform:P] [--sched all|none|bernoulli:P|alternating:H:L|pump:C] \
+         [--senders a,b,...] [--rounds N] [--eps E] [--seed S] [--save-trace PATH]"
+    );
+    exit(2);
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_topology(spec: &str) -> Topology {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    match kind {
+        "clique" => topology::clique(rest.parse().unwrap_or(8), 1.0),
+        "line" => topology::line(rest.parse().unwrap_or(6), 0.9, 2.0),
+        "ring" => topology::ring(rest.parse().unwrap_or(8), 0.9, 2.0),
+        "grid" => {
+            let (r, c) = rest.split_once('x').unwrap_or(("4", "4"));
+            topology::grid(
+                r.parse().unwrap_or(4),
+                c.parse().unwrap_or(4),
+                0.9,
+                2.0,
+            )
+        }
+        "rgg" => topology::random_geometric(topology::RggParams {
+            n: rest.parse().unwrap_or(50),
+            side: 4.0,
+            r: 2.0,
+            grey_reliable_p: 0.1,
+            grey_unreliable_p: 0.8,
+            seed: 11,
+        }),
+        _ => usage(),
+    }
+}
+
+fn parse_scheduler(spec: &str, seed: u64) -> Box<dyn LinkScheduler> {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    match kind {
+        "all" => Box::new(scheduler::AllExtraEdges),
+        "none" => Box::new(scheduler::NoExtraEdges),
+        "bernoulli" => Box::new(scheduler::BernoulliEdges::new(
+            rest.parse().unwrap_or(0.5),
+            seed,
+        )),
+        "alternating" => {
+            let (h, l) = rest.split_once(':').unwrap_or(("3", "5"));
+            Box::new(scheduler::AlternatingEdges::new(
+                h.parse().unwrap_or(3),
+                l.parse().unwrap_or(5),
+            ))
+        }
+        "pump" => Box::new(ContentionPump::against_decay(rest.parse().unwrap_or(8))),
+        _ => usage(),
+    }
+}
+
+fn summarize<I, M>(trace: &Trace<I, LbOutput, M>, rounds: u64) {
+    let acks = trace.outputs().filter(|(_, _, o)| o.is_ack()).count();
+    let recvs = trace.outputs().filter(|(_, _, o)| !o.is_ack()).count();
+    println!("\nafter {rounds} rounds:");
+    println!("  acks: {acks}   recv outputs (unique deliveries): {recvs}");
+    let stats = trace.total_stats();
+    let listens = stats.deliveries + stats.collisions + stats.silent;
+    println!(
+        "  channel: {} transmissions, {} deliveries, {} collisions, {} silent listens",
+        stats.transmitters, stats.deliveries, stats.collisions, stats.silent
+    );
+    if listens > 0 {
+        println!(
+            "  listener outcome mix: {:.1}% delivered / {:.1}% collided / {:.1}% silent",
+            100.0 * stats.deliveries as f64 / listens as f64,
+            100.0 * stats.collisions as f64 / listens as f64,
+            100.0 * stats.silent as f64 / listens as f64,
+        );
+    }
+    println!("\nfirst deliveries:");
+    let mut seen = std::collections::BTreeSet::new();
+    for (round, node, out) in trace.outputs() {
+        if !out.is_ack() && seen.insert(node) {
+            println!("  {node}: round {round} ({:?})", out.payload());
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let seed: u64 = arg_value(&args, "--seed").map_or(7, |s| s.parse().unwrap_or(7));
+    let eps: f64 = arg_value(&args, "--eps").map_or(0.25, |s| s.parse().unwrap_or(0.25));
+    let topo = parse_topology(&arg_value(&args, "--topo").unwrap_or("grid:4x4".into()));
+    let sched_spec = arg_value(&args, "--sched").unwrap_or("bernoulli:0.5".into());
+    let alg = arg_value(&args, "--alg").unwrap_or("lbalg".into());
+    let senders: Vec<NodeId> = arg_value(&args, "--senders")
+        .unwrap_or("0".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .map(NodeId)
+        .collect();
+
+    let n = topo.graph.len();
+    topo.check_geographic().expect("generated topology is geographic");
+    println!(
+        "topology: n = {n}, Δ = {}, Δ' = {}, r = {}",
+        topo.graph.delta(),
+        topo.graph.delta_prime(),
+        topo.r
+    );
+    println!("scheduler: {sched_spec}   algorithm: {alg}   ε₁ = {eps}   seed = {seed}");
+    for s in &senders {
+        assert!(s.0 < n, "sender {s} out of range");
+    }
+
+    let mut queues = vec![VecDeque::new(); n];
+    for s in &senders {
+        queues[s.0].push_back(Payload::new(s.0 as u64, 0));
+    }
+    let env = QueueWorkload::new(queues, 1);
+    // Saved bundles need reception events so `replay` can evaluate the
+    // progress indicators; plain runs only need the cheap channel stats.
+    let recording = if arg_value(&args, "--save-trace").is_some() {
+        RecordingPolicy::full()
+    } else {
+        RecordingPolicy {
+            transmissions: false,
+            receptions: false,
+            channel_stats: true,
+        }
+    };
+
+    let (kind, rest) = alg.split_once(':').unwrap_or((alg.as_str(), ""));
+    match kind {
+        "lbalg" => {
+            let cfg = LbConfig::practical(eps);
+            let params = cfg.resolve(topo.r, topo.graph.delta(), topo.graph.delta_prime());
+            let rounds: u64 = arg_value(&args, "--rounds")
+                .map_or(params.t_ack_rounds() + params.phase_len(), |s| {
+                    s.parse().unwrap_or(1000)
+                });
+            println!(
+                "LBAlg: t_prog = {} rounds, t_ack = {} rounds",
+                params.phase_len(),
+                params.t_ack_rounds()
+            );
+            let procs: Vec<LbProcess> = (0..n).map(|_| LbProcess::new(cfg.clone())).collect();
+            let config = topo
+                .configuration(parse_scheduler(&sched_spec, seed))
+                .with_recording(recording);
+            let mut engine = Engine::new(config, procs, Box::new(env), seed);
+            engine.run(rounds);
+            summarize(engine.trace(), rounds);
+            if let Some(path) = arg_value(&args, "--save-trace") {
+                let bundle = bench::TraceBundle {
+                    graph: topo.graph.clone(),
+                    r: topo.r,
+                    t_prog_rounds: params.phase_len(),
+                    t_ack_rounds: params.t_ack_rounds(),
+                    trace: engine.into_trace(),
+                };
+                let json = serde_json::to_string(&bundle).expect("bundle serializes");
+                std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+                println!("\nsaved trace bundle to {path} (audit with `replay {path}`)");
+            }
+        }
+        "decay" | "uniform" => {
+            let rounds: u64 =
+                arg_value(&args, "--rounds").map_or(2000, |s| s.parse().unwrap_or(2000));
+            let mk = || -> FixedScheduleProcess {
+                if kind == "decay" {
+                    decay_process(None)
+                } else {
+                    uniform_process(rest.parse().unwrap_or(0.3), None)
+                }
+            };
+            let procs: Vec<FixedScheduleProcess> = (0..n).map(|_| mk()).collect();
+            let config = topo
+                .configuration(parse_scheduler(&sched_spec, seed))
+                .with_recording(recording);
+            let mut engine = Engine::new(config, procs, Box::new(env), seed);
+            engine.run(rounds);
+            summarize(engine.trace(), rounds);
+        }
+        _ => usage(),
+    }
+}

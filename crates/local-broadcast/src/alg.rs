@@ -1,0 +1,462 @@
+//! `LBAlg(ε₁)`: the local broadcast automaton (Section 4.2).
+//!
+//! Rounds are partitioned into phases of `T_s + T_prog` rounds. Every
+//! phase opens with a fresh run of `SeedAlg(ε₂)` (the *preamble*), after
+//! which each node holds a committed seed shared with its group. During
+//! the *body*, a node in sending state repeatedly:
+//!
+//! 1. consumes `⌈log(r² log(1/ε₂))⌉` shared-seed bits — if all zero it is
+//!    a **participant** this round (probability `a/(r² log(1/ε₂))`,
+//!    `a ∈ [1, 2)`), correlated across its whole seed group;
+//! 2. as a participant, consumes `log log Δ` more shared bits selecting
+//!    `b ∈ [log Δ]`, i.e. a broadcast probability `2^{-b}` from the
+//!    geometric ladder — again correlated within the group (the
+//!    *permuted* schedule that the oblivious scheduler cannot have
+//!    anticipated);
+//! 3. finally flips `b` **private** coins and transmits iff all land zero
+//!    — independent within the group, breaking the remaining symmetry.
+//!
+//! Nodes in receiving state listen through the body. Every first-time
+//! reception of a payload produces a `recv` output; after `T_ack` full
+//! sending phases the sender outputs `ack` and returns to receiving.
+
+use crate::config::{LbConfig, LbParams, SeedMode};
+use crate::msg::{LbInput, LbMsg, LbOutput, Payload};
+use radio_sim::process::{Action, Context, ProcId, Process};
+use rand::Rng;
+use seed_agreement::alg::SeedProcess;
+use seed_agreement::seed::Seed;
+use seed_agreement::spec::Decide;
+use std::collections::HashSet;
+
+/// Sending-side state of the service.
+#[derive(Debug, Clone, PartialEq)]
+enum NodeState {
+    /// Not broadcasting; listening through phase bodies.
+    Receiving,
+    /// Broadcasting `payload`; counts completed sending body segments
+    /// (each phase contributes `bodies` of them).
+    Sending {
+        payload: Payload,
+        bodies_completed: u64,
+    },
+}
+
+/// The `LBAlg(ε₁)` process.
+#[derive(Debug)]
+pub struct LbProcess {
+    cfg: LbConfig,
+    params: Option<LbParams>,
+    my_id: ProcId,
+    state: NodeState,
+    /// A `bcast` input waiting for the next phase boundary.
+    pending: Option<Payload>,
+    /// The embedded seed agreement instance for the current preamble.
+    preamble: Option<SeedProcess>,
+    /// The committed seed for this phase's body, with its consumption
+    /// cursor position.
+    phase_seed: Option<(Seed, usize)>,
+    /// One commitment per completed preamble, for instrumentation.
+    commit_history: Vec<Decide>,
+    received_keys: HashSet<(ProcId, u64)>,
+    outputs: Vec<LbOutput>,
+}
+
+impl LbProcess {
+    /// Creates a process; parameters resolve from the engine context at
+    /// its first round.
+    pub fn new(cfg: LbConfig) -> Self {
+        LbProcess {
+            cfg,
+            params: None,
+            my_id: 0,
+            state: NodeState::Receiving,
+            pending: None,
+            preamble: None,
+            phase_seed: None,
+            commit_history: Vec::new(),
+            received_keys: HashSet::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The resolved round structure, once the first round has run.
+    pub fn params(&self) -> Option<&LbParams> {
+        self.params.as_ref()
+    }
+
+    /// Whether the node is currently in sending state.
+    pub fn is_sending(&self) -> bool {
+        matches!(self.state, NodeState::Sending { .. })
+    }
+
+    /// The seed commitments made at each completed preamble
+    /// (instrumentation for experiments E6/E10).
+    pub fn commit_history(&self) -> &[Decide] {
+        &self.commit_history
+    }
+
+    fn ensure_initialized(&mut self, ctx: &Context<'_>) {
+        if self.params.is_none() {
+            self.params = Some(self.cfg.resolve(ctx.r, ctx.delta, ctx.delta_prime));
+            self.my_id = ctx.id;
+        }
+    }
+
+    fn take_shared_bits(&mut self, k: usize) -> u64 {
+        let (seed, pos) = self
+            .phase_seed
+            .as_mut()
+            .expect("body rounds run with a committed phase seed");
+        assert!(
+            *pos + k <= seed.len(),
+            "phase seed exhausted: κ sized too small for this configuration"
+        );
+        let mut out = 0u64;
+        for j in 0..k {
+            out |= u64::from(seed.bit(*pos + j)) << j;
+        }
+        *pos += k;
+        out
+    }
+}
+
+impl Process for LbProcess {
+    type Msg = LbMsg;
+    type Input = LbInput;
+    type Output = LbOutput;
+
+    fn on_input(&mut self, input: LbInput, ctx: &mut Context<'_>) {
+        self.ensure_initialized(ctx);
+        let LbInput::Bcast(payload) = input;
+        assert!(
+            self.pending.is_none() && !self.is_sending(),
+            "environment violated well-formedness: bcast before previous ack (node id {})",
+            self.my_id
+        );
+        assert_eq!(
+            payload.origin, self.my_id,
+            "payload origin must match the broadcasting node (M_u sets are disjoint)"
+        );
+        self.pending = Some(payload);
+    }
+
+    fn transmit(&mut self, ctx: &mut Context<'_>) -> Action<LbMsg> {
+        self.ensure_initialized(ctx);
+        let params = self.params.clone().expect("just initialized");
+        let (_phase, pos) = params.locate(ctx.round);
+
+        if pos == 0 {
+            // Phase boundary: promote a pending bcast, restart SeedAlg.
+            if let Some(payload) = self.pending.take() {
+                debug_assert!(!self.is_sending());
+                self.state = NodeState::Sending {
+                    payload,
+                    bodies_completed: 0,
+                };
+            }
+            if params.seed_mode == SeedMode::Agreement {
+                self.preamble = Some(SeedProcess::new(params.seed_cfg.clone()));
+            }
+            self.phase_seed = None;
+        }
+
+        if params.in_preamble(pos) {
+            let inner = self
+                .preamble
+                .as_mut()
+                .expect("preamble instance exists during preamble rounds");
+            return match inner.transmit(ctx) {
+                Action::Transmit(m) => Action::Transmit(LbMsg::Seed(m)),
+                Action::Receive => Action::Receive,
+            };
+        }
+
+        if pos == params.t_s {
+            // First body round: adopt the shared seed for this phase.
+            let decide = match params.seed_mode {
+                SeedMode::Agreement => {
+                    let inner = self
+                        .preamble
+                        .as_ref()
+                        .expect("preamble ran to completion");
+                    inner
+                        .committed()
+                        .expect("SeedAlg decides within T_s rounds (well-formedness)")
+                        .clone()
+                }
+                // Ablation: a fresh private seed, no coordination.
+                SeedMode::Private => Decide {
+                    owner: self.my_id,
+                    seed: Seed::random(ctx.rng, params.kappa),
+                },
+            };
+            self.phase_seed = Some((decide.seed.clone(), 0));
+            self.commit_history.push(decide);
+        }
+
+        match &self.state {
+            NodeState::Receiving => Action::Receive,
+            NodeState::Sending { payload, .. } => {
+                let payload = payload.clone();
+                // Shared choice 1: participate this round?
+                if self.take_shared_bits(params.participant_bits) != 0 {
+                    return Action::Receive;
+                }
+                // Shared choice 2: which rung of the probability ladder?
+                let b = self.take_shared_bits(params.b_bits) + 1;
+                // Private choice: transmit with probability 2^{-b}.
+                let p = 2f64.powi(-(b as i32));
+                if ctx.rng.gen_bool(p) {
+                    Action::Transmit(LbMsg::Data(payload))
+                } else {
+                    Action::Receive
+                }
+            }
+        }
+    }
+
+    fn on_receive(&mut self, msg: Option<LbMsg>, ctx: &mut Context<'_>) {
+        let params = self.params.clone().expect("initialized in transmit");
+        let (_phase, pos) = params.locate(ctx.round);
+
+        if params.in_preamble(pos) {
+            let inner_msg = match msg {
+                Some(LbMsg::Seed(s)) => Some(s),
+                // Data traffic cannot occur during globally aligned
+                // preambles; tolerate and drop if it ever does.
+                _ => None,
+            };
+            if let Some(inner) = self.preamble.as_mut() {
+                inner.on_receive(inner_msg, ctx);
+                // Internal decide outputs are not service outputs.
+                let _ = inner.take_outputs();
+            }
+        } else if let Some(LbMsg::Data(p)) = msg {
+            if self.received_keys.insert(p.key()) {
+                self.outputs.push(LbOutput::Recv(p));
+            }
+        }
+
+        if pos == params.phase_len() - 1 {
+            // End of phase: each completed phase contributes `bodies`
+            // sending body segments toward T_ack.
+            if let NodeState::Sending {
+                payload,
+                bodies_completed,
+            } = &mut self.state
+            {
+                *bodies_completed += u64::from(params.bodies);
+                if *bodies_completed >= params.t_ack {
+                    let done = payload.clone();
+                    self.outputs.push(LbOutput::Ack(done));
+                    self.state = NodeState::Receiving;
+                }
+            }
+        }
+    }
+
+    fn take_outputs(&mut self) -> Vec<LbOutput> {
+        std::mem::take(&mut self.outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_sim::environment::ScriptedEnvironment;
+    use radio_sim::prelude::*;
+    use radio_sim::scheduler::AllExtraEdges;
+
+    fn run_lb(
+        topo: &radio_sim::topology::Topology,
+        cfg: &LbConfig,
+        script: Vec<(u64, NodeId, LbInput)>,
+        rounds: u64,
+        master_seed: u64,
+    ) -> crate::LbTrace {
+        let n = topo.graph.len();
+        let procs: Vec<LbProcess> = (0..n).map(|_| LbProcess::new(cfg.clone())).collect();
+        let mut engine = Engine::new(
+            topo.configuration(Box::new(AllExtraEdges)),
+            procs,
+            Box::new(ScriptedEnvironment::new(script)),
+            master_seed,
+        );
+        engine.run(rounds);
+        engine.into_trace()
+    }
+
+    #[test]
+    fn ack_arrives_within_t_ack_rounds() {
+        let topo = radio_sim::topology::clique(3, 1.0);
+        let cfg = LbConfig::fast(0.25);
+        let params = cfg.resolve(1.0, topo.graph.delta(), topo.graph.delta_prime());
+        let payload = Payload::new(0, 1);
+        let trace = run_lb(
+            &topo,
+            &cfg,
+            vec![(1, NodeId(0), LbInput::Bcast(payload.clone()))],
+            params.t_ack_rounds() + 2,
+            3,
+        );
+        let ack = trace
+            .outputs()
+            .find(|(_, v, o)| *v == NodeId(0) && o.is_ack())
+            .expect("sender acks");
+        assert!(ack.0 <= 1 + params.t_ack_rounds(), "ack at {}", ack.0);
+        assert_eq!(ack.2.payload(), &payload);
+    }
+
+    #[test]
+    fn neighbors_receive_before_ack() {
+        // With all links up and one sender in a small clique, delivery to
+        // every neighbor before the ack is overwhelmingly likely.
+        let topo = radio_sim::topology::clique(4, 1.0);
+        let cfg = LbConfig::fast(0.25);
+        let params = cfg.resolve(1.0, topo.graph.delta(), topo.graph.delta_prime());
+        let payload = Payload::new(0, 9);
+        let trace = run_lb(
+            &topo,
+            &cfg,
+            vec![(1, NodeId(0), LbInput::Bcast(payload.clone()))],
+            params.t_ack_rounds() + 2,
+            11,
+        );
+        let ack_round = trace
+            .outputs()
+            .find(|(_, v, o)| *v == NodeId(0) && o.is_ack())
+            .map(|(r, _, _)| r)
+            .expect("sender acks");
+        for v in 1..4 {
+            let recv = trace.outputs().find(|(_, node, o)| {
+                node.0 == v && !o.is_ack() && o.payload() == &payload
+            });
+            let (recv_round, _, _) = recv.unwrap_or_else(|| panic!("node {v} received"));
+            assert!(recv_round <= ack_round);
+        }
+    }
+
+    #[test]
+    fn recv_outputs_are_deduplicated() {
+        let topo = radio_sim::topology::clique(3, 1.0);
+        let cfg = LbConfig::fast(0.25);
+        let params = cfg.resolve(1.0, topo.graph.delta(), topo.graph.delta_prime());
+        let payload = Payload::new(0, 2);
+        let trace = run_lb(
+            &topo,
+            &cfg,
+            vec![(1, NodeId(0), LbInput::Bcast(payload.clone()))],
+            params.t_ack_rounds() + 2,
+            5,
+        );
+        for v in 1..3 {
+            let recvs = trace
+                .outputs()
+                .filter(|(_, node, o)| node.0 == v && !o.is_ack())
+                .count();
+            assert!(recvs <= 1, "node {v} produced {recvs} recv outputs");
+        }
+    }
+
+    #[test]
+    fn no_spurious_outputs_without_input() {
+        let topo = radio_sim::topology::clique(3, 1.0);
+        let cfg = LbConfig::fast(0.25);
+        let params = cfg.resolve(1.0, topo.graph.delta(), topo.graph.delta_prime());
+        let trace = run_lb(&topo, &cfg, vec![], params.phase_len() * 2, 7);
+        assert_eq!(trace.outputs().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "well-formedness")]
+    fn rejects_bcast_before_ack() {
+        let topo = radio_sim::topology::clique(2, 1.0);
+        let cfg = LbConfig::fast(0.25);
+        let _ = run_lb(
+            &topo,
+            &cfg,
+            vec![
+                (1, NodeId(0), LbInput::Bcast(Payload::new(0, 1))),
+                (2, NodeId(0), LbInput::Bcast(Payload::new(0, 2))),
+            ],
+            10,
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "origin")]
+    fn rejects_foreign_payload() {
+        let topo = radio_sim::topology::clique(2, 1.0);
+        let cfg = LbConfig::fast(0.25);
+        let _ = run_lb(
+            &topo,
+            &cfg,
+            vec![(1, NodeId(0), LbInput::Bcast(Payload::new(5, 1)))],
+            10,
+            1,
+        );
+    }
+
+    #[test]
+    fn private_mode_runs_and_delivers() {
+        let topo = radio_sim::topology::clique(3, 1.0);
+        let cfg = LbConfig::fast(0.25).with_private_seeds();
+        let params = cfg.resolve(1.0, topo.graph.delta(), topo.graph.delta_prime());
+        assert_eq!(params.t_s, 0);
+        let payload = Payload::new(0, 1);
+        let trace = run_lb(
+            &topo,
+            &cfg,
+            vec![(1, NodeId(0), LbInput::Bcast(payload.clone()))],
+            params.t_ack_rounds() + 2,
+            3,
+        );
+        assert!(trace
+            .outputs()
+            .any(|(_, v, o)| v == NodeId(0) && o.is_ack()));
+        assert!(trace.outputs().any(|(_, _, o)| !o.is_ack()));
+        crate::spec::check_validity(&trace, &topo.graph).unwrap();
+    }
+
+    #[test]
+    fn seed_reuse_mode_acks_within_adapted_bound() {
+        let topo = radio_sim::topology::clique(3, 1.0);
+        let cfg = LbConfig::fast(0.25).with_seed_reuse(3);
+        let params = cfg.resolve(1.0, topo.graph.delta(), topo.graph.delta_prime());
+        let payload = Payload::new(0, 1);
+        let trace = run_lb(
+            &topo,
+            &cfg,
+            vec![(1, NodeId(0), LbInput::Bcast(payload.clone()))],
+            params.t_ack_rounds() + 2,
+            5,
+        );
+        let ack = trace
+            .outputs()
+            .find(|(_, v, o)| *v == NodeId(0) && o.is_ack())
+            .expect("acks");
+        assert!(ack.0 <= 1 + params.t_ack_rounds());
+        crate::spec::check_timely_ack(&trace, params.t_ack_rounds()).unwrap();
+    }
+
+    #[test]
+    fn commit_history_grows_per_phase() {
+        let topo = radio_sim::topology::clique(3, 1.0);
+        let cfg = LbConfig::fast(0.25);
+        let params = cfg.resolve(1.0, topo.graph.delta(), topo.graph.delta_prime());
+        let n = topo.graph.len();
+        let procs: Vec<LbProcess> = (0..n).map(|_| LbProcess::new(cfg.clone())).collect();
+        let mut engine = Engine::new(
+            topo.configuration(Box::new(AllExtraEdges)),
+            procs,
+            Box::new(radio_sim::environment::NullEnvironment),
+            2,
+        );
+        engine.run(params.phase_len() * 3);
+        for p in engine.processes() {
+            assert_eq!(p.commit_history().len(), 3);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Instrumentation: the seed-group partition of Lemma 4.2, measured.
+//!
+//! The lemma's argument partitions the senders in a receiver's
+//! `G'`-neighborhood into groups sharing a committed seed; the agreement
+//! property bounds the number of groups by δ, and with probability
+//! `Θ(1/δ)` exactly one group participates in a round. This module
+//! recomputes that partition per phase from the processes'
+//! [`commit histories`](crate::alg::LbProcess::commit_history), so
+//! experiments can report the realized group counts next to the δ
+//! budget.
+
+use crate::alg::LbProcess;
+use radio_sim::graph::{DualGraph, NodeId};
+use radio_sim::process::ProcId;
+use std::collections::BTreeSet;
+
+/// Group counts for one phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseGroups {
+    /// The phase index (1-based).
+    pub phase: usize,
+    /// For each vertex `u`, the number of distinct seed owners among
+    /// `N_{G'}(u) ∪ {u}` in this phase — the `k ≤ δ` of Lemma 4.2's
+    /// partition.
+    pub groups_per_node: Vec<usize>,
+}
+
+impl PhaseGroups {
+    /// The worst (largest) neighborhood group count this phase.
+    pub fn max(&self) -> usize {
+        self.groups_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The mean neighborhood group count this phase.
+    pub fn mean(&self) -> f64 {
+        if self.groups_per_node.is_empty() {
+            return 0.0;
+        }
+        self.groups_per_node.iter().sum::<usize>() as f64 / self.groups_per_node.len() as f64
+    }
+}
+
+/// Computes the per-phase seed-group partition from completed processes.
+///
+/// Phases where some process has no commitment recorded (e.g. the run
+/// stopped mid-preamble) are omitted.
+///
+/// # Panics
+///
+/// Panics if `procs` does not match the graph's vertex count.
+pub fn seed_groups_per_phase(procs: &[LbProcess], graph: &DualGraph) -> Vec<PhaseGroups> {
+    assert_eq!(procs.len(), graph.len(), "one process per vertex");
+    let phases = procs
+        .iter()
+        .map(|p| p.commit_history().len())
+        .min()
+        .unwrap_or(0);
+    (0..phases)
+        .map(|ph| {
+            let owner_of = |v: NodeId| -> ProcId { procs[v.0].commit_history()[ph].owner };
+            let groups_per_node = graph
+                .vertices()
+                .map(|u| {
+                    let mut owners: BTreeSet<ProcId> = BTreeSet::new();
+                    owners.insert(owner_of(u));
+                    for v in graph.all_neighbors(u) {
+                        owners.insert(owner_of(v));
+                    }
+                    owners.len()
+                })
+                .collect();
+            PhaseGroups {
+                phase: ph + 1,
+                groups_per_node,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LbConfig;
+    use radio_sim::environment::NullEnvironment;
+    use radio_sim::prelude::*;
+    use radio_sim::scheduler::AllExtraEdges;
+
+    fn run_engine(
+        topo: &radio_sim::topology::Topology,
+        cfg: &LbConfig,
+        phases: u64,
+        seed: u64,
+    ) -> Engine<LbProcess> {
+        let n = topo.graph.len();
+        let params = cfg.resolve(topo.r, topo.graph.delta(), topo.graph.delta_prime());
+        let procs: Vec<LbProcess> = (0..n).map(|_| LbProcess::new(cfg.clone())).collect();
+        let mut engine = Engine::new(
+            topo.configuration(Box::new(AllExtraEdges)),
+            procs,
+            Box::new(NullEnvironment),
+            seed,
+        );
+        engine.run(params.phase_len() * phases);
+        engine
+    }
+
+    #[test]
+    fn group_counts_are_bounded_by_neighborhood_size() {
+        let topo = radio_sim::topology::clique(6, 1.0);
+        let engine = run_engine(&topo, &LbConfig::fast(0.25), 2, 7);
+        let groups = seed_groups_per_phase(engine.processes(), &topo.graph);
+        assert_eq!(groups.len(), 2);
+        for pg in &groups {
+            assert_eq!(pg.groups_per_node.len(), 6);
+            for (v, &k) in pg.groups_per_node.iter().enumerate() {
+                let nbhd = topo
+                    .graph
+                    .all_neighbors(radio_sim::graph::NodeId(v))
+                    .len()
+                    + 1;
+                assert!(k >= 1 && k <= nbhd, "node {v}: {k} groups of {nbhd}");
+            }
+            assert!(pg.max() >= 1);
+            assert!(pg.mean() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn private_mode_groups_equal_neighborhood_size() {
+        // With private seeds every node owns its own seed: group count =
+        // closed neighborhood size, the degenerate partition the
+        // agreement exists to avoid.
+        let topo = radio_sim::topology::clique(4, 1.0);
+        let cfg = LbConfig::fast(0.25).with_private_seeds();
+        let params = cfg.resolve(topo.r, topo.graph.delta(), topo.graph.delta_prime());
+        let procs: Vec<LbProcess> = (0..4).map(|_| LbProcess::new(cfg.clone())).collect();
+        let mut engine = Engine::new(
+            topo.configuration(Box::new(AllExtraEdges)),
+            procs,
+            Box::new(NullEnvironment),
+            3,
+        );
+        engine.run(params.phase_len() * 2);
+        let groups = seed_groups_per_phase(engine.processes(), &topo.graph);
+        assert_eq!(groups.len(), 2);
+        for pg in groups {
+            assert_eq!(pg.groups_per_node, vec![4, 4, 4, 4]);
+        }
+    }
+}

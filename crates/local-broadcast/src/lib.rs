@@ -1,0 +1,73 @@
+//! # local-broadcast: the `LB(t_ack, t_prog, ε)` service and `LBAlg`
+//!
+//! This crate implements the primary contribution of Lynch & Newport's
+//! *A (Truly) Local Broadcast Layer for Unreliable Radio Networks*
+//! (Section 4, Appendix C): an ongoing local broadcast service for the
+//! dual graph model with two probabilistic latency guarantees —
+//!
+//! * **Progress**: a receiver with at least one reliable neighbor actively
+//!   broadcasting throughout a `t_prog`-round phase receives *some*
+//!   message during the phase with probability ≥ 1 − ε.
+//! * **Reliability / acknowledgment**: a sender delivers its message to
+//!   *all* reliable neighbors before its `ack`, with probability ≥ 1 − ε,
+//!   and always acks within `t_ack` rounds.
+//!
+//! The algorithm, `LBAlg(ε₁)`, partitions rounds into phases of
+//! `T_s + T_prog` rounds. Each phase opens with a **preamble** running the
+//! seed agreement protocol [`seed_agreement::SeedProcess`] from scratch,
+//! giving every node a committed seed shared by a bounded number of
+//! nearby groups (Theorem 3.1). The **body** rounds then use those shared
+//! seed bits to make *group-correlated* participation and
+//! probability-selection choices — the permuted broadcast schedule that
+//! defeats the oblivious link scheduler — plus fresh private randomness
+//! for the final *within-group* symmetry breaking.
+//!
+//! Modules:
+//!
+//! * [`config`] — the Appendix C.1 constants (`T_s`, `T_prog`, `T_ack`,
+//!   `κ`, `ε₂`), with practical calibrations.
+//! * [`msg`] — payloads and the wire message type.
+//! * [`alg`] — [`LbProcess`](alg::LbProcess): the `LBAlg` automaton.
+//! * [`spec`] — the four `LB` conditions as trace predicates: timely
+//!   acknowledgment and validity (deterministic), reliability and
+//!   progress (probabilistic indicators for Monte-Carlo estimation).
+//! * [`service`] — workload environments and convenience runners that
+//!   drive the service the way a higher layer would.
+//! * [`instrument`] — measurement of Lemma 4.2's per-phase seed-group
+//!   partition, for the experiment suite.
+//!
+//! ## Example
+//!
+//! ```
+//! use local_broadcast::{config::LbConfig, service};
+//! use radio_sim::prelude::*;
+//!
+//! let topo = topology::clique(4, 1.0);
+//! let cfg = LbConfig::practical(0.25);
+//! // Node 0 broadcasts one message; run until it acks.
+//! let outcome = service::run_single_broadcast(
+//!     &topo,
+//!     Box::new(scheduler::AllExtraEdges),
+//!     &cfg,
+//!     NodeId(0),
+//!     7,
+//! );
+//! assert!(outcome.acked_at.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alg;
+pub mod config;
+pub mod instrument;
+pub mod msg;
+pub mod service;
+pub mod spec;
+
+pub use alg::LbProcess;
+pub use config::LbConfig;
+pub use msg::{LbInput, LbMsg, LbOutput, Payload};
+
+/// Trace type produced by running `LBAlg` under the engine.
+pub type LbTrace = radio_sim::trace::Trace<msg::LbInput, msg::LbOutput, msg::LbMsg>;

@@ -1,0 +1,152 @@
+//! Payloads, inputs, outputs, and the wire message of `LBAlg`.
+//!
+//! The problem definition (Section 4.1) fixes pairwise-disjoint message
+//! sets `M_u` per node; we realize that by tagging every payload with its
+//! origin's process id, so `M_u = {Payload { origin: id(u), .. }}` and
+//! distinct nodes can never broadcast equal payloads. Environments must
+//! additionally keep tags unique per origin (each message is broadcast at
+//! most once), which the spec checker verifies.
+
+use bytes::Bytes;
+use radio_sim::process::ProcId;
+use seed_agreement::alg::SeedMsg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An application message: an element of `M_origin`.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Payload {
+    /// Process id of the only node allowed to broadcast this payload.
+    pub origin: ProcId,
+    /// Distinguishes this node's messages from each other.
+    pub tag: u64,
+    /// Opaque application bytes (not interpreted by the layer).
+    #[serde(with = "serde_bytes_compat")]
+    pub body: Bytes,
+}
+
+mod serde_bytes_compat {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+impl Payload {
+    /// A payload with an empty body.
+    pub fn new(origin: ProcId, tag: u64) -> Self {
+        Payload {
+            origin,
+            tag,
+            body: Bytes::new(),
+        }
+    }
+
+    /// A payload carrying application bytes.
+    pub fn with_body(origin: ProcId, tag: u64, body: impl Into<Bytes>) -> Self {
+        Payload {
+            origin,
+            tag,
+            body: body.into(),
+        }
+    }
+
+    /// The `(origin, tag)` pair identifying this message.
+    pub fn key(&self) -> (ProcId, u64) {
+        (self.origin, self.tag)
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m({}#{}", self.origin, self.tag)?;
+        if !self.body.is_empty() {
+            write!(f, ", {}B", self.body.len())?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Environment inputs to the service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LbInput {
+    /// `bcast(m)ᵤ`: start broadcasting `m` to all reliable neighbors.
+    Bcast(Payload),
+}
+
+/// Service outputs to the environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LbOutput {
+    /// `ack(m)ᵤ`: the layer is done broadcasting `m`.
+    Ack(Payload),
+    /// `recv(m)ᵤ`: first delivery of `m` at this node.
+    Recv(Payload),
+}
+
+impl LbOutput {
+    /// The payload this output concerns.
+    pub fn payload(&self) -> &Payload {
+        match self {
+            LbOutput::Ack(p) | LbOutput::Recv(p) => p,
+        }
+    }
+
+    /// Whether this is an `ack`.
+    pub fn is_ack(&self) -> bool {
+        matches!(self, LbOutput::Ack(_))
+    }
+}
+
+/// The wire message: seed agreement traffic during preambles, data during
+/// bodies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LbMsg {
+    /// A `SeedAlg` leader announcement (preamble rounds).
+    Seed(SeedMsg),
+    /// An application payload (body rounds).
+    Data(Payload),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_identity_is_origin_and_tag() {
+        let a = Payload::new(1, 2);
+        let b = Payload::with_body(1, 2, Bytes::new());
+        assert_eq!(a, b);
+        assert_eq!(a.key(), (1, 2));
+        assert_ne!(Payload::new(1, 2), Payload::new(2, 2));
+    }
+
+    #[test]
+    fn payload_debug_is_compact() {
+        let p = Payload::with_body(3, 7, vec![0u8; 5]);
+        assert_eq!(format!("{p:?}"), "m(3#7, 5B)");
+        assert_eq!(format!("{:?}", Payload::new(3, 7)), "m(3#7)");
+    }
+
+    #[test]
+    fn output_accessors() {
+        let p = Payload::new(4, 0);
+        assert!(LbOutput::Ack(p.clone()).is_ack());
+        assert!(!LbOutput::Recv(p.clone()).is_ack());
+        assert_eq!(LbOutput::Recv(p.clone()).payload(), &p);
+    }
+
+    #[test]
+    fn payload_serde_round_trip() {
+        let p = Payload::with_body(9, 1, vec![1, 2, 3]);
+        let json = serde_json::to_string(&p).unwrap();
+        let q: Payload = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+    }
+}

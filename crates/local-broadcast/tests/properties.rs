@@ -1,0 +1,267 @@
+//! Property-based tests for `LBAlg` configuration arithmetic and the
+//! `LB` specification predicates over synthetic traces.
+
+use local_broadcast::config::LbConfig;
+use local_broadcast::msg::{LbInput, LbOutput, Payload};
+use local_broadcast::spec::{self, LbViolation};
+use local_broadcast::LbTrace;
+use proptest::prelude::*;
+use radio_sim::graph::NodeId;
+use radio_sim::trace::{Event, EventKind, Trace};
+
+fn mk_trace(n: usize, rounds: u64) -> LbTrace {
+    let mut t = Trace::new(n, (0..n as u64).collect());
+    t.rounds = rounds;
+    t
+}
+
+proptest! {
+    #[test]
+    fn params_arithmetic_is_consistent(
+        eps in 0.01f64..0.5,
+        r in 1.0f64..3.0,
+        delta in 2usize..200,
+        extra in 0usize..200,
+    ) {
+        let cfg = LbConfig::practical(eps);
+        let delta_prime = delta + extra;
+        let p = cfg.resolve(r, delta, delta_prime);
+        // Structural identities.
+        prop_assert_eq!(p.phase_len(), p.t_s + p.t_prog);
+        prop_assert_eq!(p.t_ack_rounds(), (p.t_ack + 1) * p.phase_len());
+        prop_assert_eq!(p.kappa, (p.t_prog as usize) * (p.participant_bits + p.b_bits));
+        prop_assert_eq!(p.seed_cfg.seed_bits, p.kappa);
+        prop_assert!(p.ladder >= p.log_delta);
+        // Everything positive.
+        prop_assert!(p.t_s >= 1 && p.t_prog >= 1 && p.t_ack >= 1);
+        // locate() round-trips over a few rounds.
+        for round in 1..=p.phase_len() * 2 {
+            let (phase, pos) = p.locate(round);
+            prop_assert_eq!((phase - 1) * p.phase_len() + pos + 1, round);
+            prop_assert!(pos < p.phase_len());
+        }
+    }
+
+    #[test]
+    fn t_prog_monotone_in_delta(eps in 0.01f64..0.5, d1 in 2usize..200, d2 in 2usize..200) {
+        let cfg = LbConfig::practical(eps);
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let a = cfg.resolve(2.0, lo, lo);
+        let b = cfg.resolve(2.0, hi, hi);
+        prop_assert!(a.t_prog <= b.t_prog);
+        prop_assert!(a.t_s <= b.t_s);
+    }
+
+    #[test]
+    fn participant_probability_within_paper_window(
+        eps in 0.01f64..0.5,
+        r in 1.0f64..3.0,
+    ) {
+        // 2^{-participant_bits} must be a/(r² log(1/ε₂)) with a ∈ [1, 2)
+        // (when the target is ≥ 1 bit's worth).
+        let cfg = LbConfig::practical(eps);
+        let p = cfg.resolve(r, 16, 16);
+        let target = r * r * (1.0 / cfg.epsilon2()).log2();
+        let prob = 2f64.powi(-(p.participant_bits as i32));
+        let a = prob * target;
+        if target >= 2.0 {
+            prop_assert!((1.0..2.0).contains(&a), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn timely_ack_accepts_exactly_within_bound(
+        bcast_round in 1u64..50,
+        latency in 0u64..100,
+        bound in 1u64..100,
+    ) {
+        let mut t = mk_trace(2, 500);
+        let p = Payload::new(0, 1);
+        t.events.push(Event {
+            round: bcast_round,
+            node: NodeId(0),
+            kind: EventKind::Input(LbInput::Bcast(p.clone())),
+        });
+        t.events.push(Event {
+            round: bcast_round + latency,
+            node: NodeId(0),
+            kind: EventKind::Output(LbOutput::Ack(p)),
+        });
+        let ok = spec::check_timely_ack(&t, bound).is_ok();
+        prop_assert_eq!(ok, latency <= bound);
+    }
+
+    #[test]
+    fn validity_accepts_only_neighbor_active_windows(
+        recv_round in 1u64..60,
+        bcast_round in 1u64..30,
+        ack_round in 30u64..60,
+        neighbor in prop::bool::ANY,
+    ) {
+        prop_assume!(bcast_round <= ack_round);
+        let g = if neighbor {
+            radio_sim::graph::DualGraph::reliable_only(2, [(0, 1)]).unwrap()
+        } else {
+            radio_sim::graph::DualGraph::reliable_only(2, []).unwrap()
+        };
+        let mut t = mk_trace(2, 100);
+        let p = Payload::new(0, 1);
+        t.events.push(Event {
+            round: bcast_round,
+            node: NodeId(0),
+            kind: EventKind::Input(LbInput::Bcast(p.clone())),
+        });
+        t.events.push(Event {
+            round: ack_round,
+            node: NodeId(0),
+            kind: EventKind::Output(LbOutput::Ack(p.clone())),
+        });
+        t.events.push(Event {
+            round: recv_round,
+            node: NodeId(1),
+            kind: EventKind::Output(LbOutput::Recv(p)),
+        });
+        // Keep event order sane for the lifecycle walker.
+        t.events.sort_by_key(|e| e.round);
+        let valid = spec::check_validity(&t, &g).is_ok();
+        let active = bcast_round <= recv_round && recv_round <= ack_round;
+        prop_assert_eq!(valid, neighbor && active);
+    }
+
+    #[test]
+    fn reliability_counts_misses_exactly(
+        n in 2usize..8,
+        receivers in proptest::collection::vec(prop::bool::ANY, 1..7),
+    ) {
+        // Star: node 0 reliable-neighbors everyone; receivers[i] marks
+        // whether node i+1 receives in time.
+        let edges: Vec<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
+        let g = radio_sim::graph::DualGraph::reliable_only(n, edges).unwrap();
+        let mut t = mk_trace(n, 100);
+        let p = Payload::new(0, 1);
+        t.events.push(Event {
+            round: 1,
+            node: NodeId(0),
+            kind: EventKind::Input(LbInput::Bcast(p.clone())),
+        });
+        let mut expected_missed = 0usize;
+        for v in 1..n {
+            let got = receivers[(v - 1) % receivers.len()];
+            if got {
+                t.events.push(Event {
+                    round: 5,
+                    node: NodeId(v),
+                    kind: EventKind::Output(LbOutput::Recv(p.clone())),
+                });
+            } else {
+                expected_missed += 1;
+            }
+        }
+        t.events.push(Event {
+            round: 50,
+            node: NodeId(0),
+            kind: EventKind::Output(LbOutput::Ack(p)),
+        });
+        t.events.sort_by_key(|e| e.round);
+        let outcomes = spec::reliability_outcomes(&t, &g).unwrap();
+        prop_assert_eq!(outcomes.len(), 1);
+        prop_assert_eq!(outcomes[0].missed.len(), expected_missed);
+        prop_assert_eq!(outcomes[0].success(), expected_missed == 0);
+    }
+
+    #[test]
+    fn duplicate_broadcast_always_rejected(round1 in 1u64..20, round2 in 30u64..50) {
+        let mut t = mk_trace(2, 100);
+        let p = Payload::new(0, 1);
+        for (round, ack) in [(round1, round1 + 5), (round2, round2 + 5)] {
+            t.events.push(Event {
+                round,
+                node: NodeId(0),
+                kind: EventKind::Input(LbInput::Bcast(p.clone())),
+            });
+            t.events.push(Event {
+                round: ack,
+                node: NodeId(0),
+                kind: EventKind::Output(LbOutput::Ack(p.clone())),
+            });
+        }
+        t.events.sort_by_key(|e| e.round);
+        let dup = matches!(
+            spec::lifecycles(&t),
+            Err(LbViolation::DuplicatePayload { .. })
+        );
+        prop_assert!(dup);
+    }
+
+    #[test]
+    fn progress_outcomes_respect_phase_boundaries(
+        t_prog in 2u64..20,
+        active_len in 1u64..60,
+    ) {
+        // Node 1 (neighbor of 0) active rounds 1..=active_len; count
+        // hypothesis phases = full phases covered by activity.
+        let g = radio_sim::graph::DualGraph::reliable_only(2, [(0, 1)]).unwrap();
+        let rounds = 60u64;
+        let mut t = mk_trace(2, rounds);
+        let p = Payload::new(1, 1);
+        t.events.push(Event {
+            round: 1,
+            node: NodeId(1),
+            kind: EventKind::Input(LbInput::Bcast(p.clone())),
+        });
+        if active_len < rounds {
+            t.events.push(Event {
+                round: active_len,
+                node: NodeId(1),
+                kind: EventKind::Output(LbOutput::Ack(p)),
+            });
+        }
+        let outcomes = spec::progress_outcomes(&t, &g, t_prog).unwrap();
+        // Expected: node 0 hypothesis holds for phases fully inside
+        // [1, active_len].
+        let full_phases = rounds / t_prog;
+        let covered = (1..=full_phases)
+            .filter(|ph| ph * t_prog <= active_len)
+            .count();
+        let node0: Vec<_> = outcomes.iter().filter(|o| o.node == NodeId(0)).collect();
+        prop_assert_eq!(node0.len(), covered);
+        // No receptions recorded: all failures.
+        prop_assert!(node0.iter().all(|o| !o.received));
+    }
+}
+
+/// End-to-end property: tiny random LBAlg deployments always satisfy the
+/// deterministic spec (few cases, real executions).
+mod end_to_end {
+    use super::*;
+    use local_broadcast::service::{build_engine, QueueWorkload};
+    use radio_sim::scheduler;
+    use radio_sim::trace::RecordingPolicy;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn random_small_deployments_meet_deterministic_spec(
+            n in 2usize..6,
+            seed in 0u64..1000,
+            sched_p in 0.0f64..1.0,
+        ) {
+            let topo = radio_sim::topology::clique(n, 1.0);
+            let cfg = LbConfig::fast(0.25);
+            let params = cfg.resolve(topo.r, topo.graph.delta(), topo.graph.delta_prime());
+            let env = QueueWorkload::uniform(n, &[NodeId(0)], 1);
+            let mut engine = build_engine(
+                &topo,
+                Box::new(scheduler::BernoulliEdges::new(sched_p, seed)),
+                &cfg,
+                Box::new(env),
+                seed,
+                RecordingPolicy::full(),
+            );
+            engine.run(params.t_ack_rounds() + params.phase_len());
+            let trace = engine.into_trace();
+            prop_assert!(spec::check_timely_ack(&trace, params.t_ack_rounds()).is_ok());
+            prop_assert!(spec::check_validity(&trace, &topo.graph).is_ok());
+        }
+    }
+}

@@ -1,0 +1,635 @@
+//! The synchronous round engine: executes an algorithm in a configuration.
+//!
+//! A [`Configuration`] bundles the dual graph, the link scheduler, the id
+//! assignment, and recording options; combined with a process vector, an
+//! environment, and a master seed it determines an execution completely
+//! (the paper's "configuration + algorithm ⇒ execution tree", with the
+//! master seed selecting one branch).
+//!
+//! Each round follows the Section 2 step order exactly:
+//! environment inputs → transmit decisions → collision-resolved reception →
+//! outputs. The collision rule: `u` receives `m` from `v` iff `u`
+//! listens, `v` transmits `m`, and `v` is the **only** transmitter among
+//! `u`'s neighbors in the round's topology; otherwise `u` gets `⊥`
+//! (no collision detection).
+
+use crate::environment::Environment;
+use crate::graph::{DualGraph, NodeId};
+use crate::process::{Action, Context, ProcId, Process};
+use crate::rng::{derive_stream, StreamKind};
+use crate::scheduler::{EdgeSelection, LinkScheduler, SchedulerBox};
+use crate::trace::{Event, EventKind, RecordingPolicy, Trace};
+use rand_chacha::ChaCha8Rng;
+
+/// Everything that resolves model nondeterminism, minus the algorithm's
+/// coins: dual graph, link scheduler, id assignment, geographic parameter.
+#[derive(Debug)]
+pub struct Configuration {
+    /// The dual graph `(G, G')`.
+    pub graph: DualGraph,
+    /// The link scheduler (oblivious, or adaptive for separation
+    /// experiments).
+    pub scheduler: SchedulerBox,
+    /// Id assignment: `proc_ids[v]` is the process id at vertex `v`.
+    /// Must be injective.
+    pub proc_ids: Vec<ProcId>,
+    /// The geographic parameter `r ≥ 1` the dual graph satisfies.
+    pub r: f64,
+    /// What the engine records into the trace.
+    pub recording: RecordingPolicy,
+}
+
+impl Configuration {
+    /// A configuration with the identity id assignment, `r = 2`, and
+    /// output-only recording.
+    pub fn new(graph: DualGraph, scheduler: Box<dyn LinkScheduler>) -> Self {
+        let n = graph.len();
+        Configuration {
+            graph,
+            scheduler: SchedulerBox::Oblivious(scheduler),
+            proc_ids: (0..n as u64).collect(),
+            r: 2.0,
+            recording: RecordingPolicy::outputs_only(),
+        }
+    }
+
+    /// Replaces the scheduler with an adaptive one (E8 separation runs).
+    pub fn with_adaptive(
+        mut self,
+        scheduler: Box<dyn crate::scheduler::AdaptiveScheduler>,
+    ) -> Self {
+        self.scheduler = SchedulerBox::Adaptive(scheduler);
+        self
+    }
+
+    /// Sets the geographic parameter `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r < 1` (the model requires `r ≥ 1`).
+    pub fn with_r(mut self, r: f64) -> Self {
+        assert!(r >= 1.0, "the model requires r >= 1, got {r}");
+        self.r = r;
+        self
+    }
+
+    /// Sets an explicit id assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length differs from the vertex count or is
+    /// not injective.
+    pub fn with_proc_ids(mut self, ids: Vec<ProcId>) -> Self {
+        assert_eq!(ids.len(), self.graph.len(), "one id per vertex required");
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "id assignment must be injective");
+        self.proc_ids = ids;
+        self
+    }
+
+    /// Sets the trace recording policy.
+    pub fn with_recording(mut self, recording: RecordingPolicy) -> Self {
+        self.recording = recording;
+        self
+    }
+}
+
+/// The synchronous executor for processes of type `P`.
+pub struct Engine<P: Process> {
+    graph: DualGraph,
+    scheduler: SchedulerBox,
+    r: f64,
+    recording: RecordingPolicy,
+    delta: usize,
+    delta_prime: usize,
+    procs: Vec<P>,
+    rngs: Vec<ChaCha8Rng>,
+    env: Box<dyn Environment<P::Input, P::Output>>,
+    pending_outputs: Vec<(NodeId, P::Output)>,
+    round: u64,
+    trace: Trace<P::Input, P::Output, P::Msg>,
+}
+
+impl<P: Process> Engine<P> {
+    /// Builds an engine from a configuration, one process per vertex, an
+    /// environment, and the master seed from which all per-node random
+    /// streams derive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs.len()` differs from the graph's vertex count.
+    pub fn new(
+        config: Configuration,
+        procs: Vec<P>,
+        env: Box<dyn Environment<P::Input, P::Output>>,
+        master_seed: u64,
+    ) -> Self {
+        let n = config.graph.len();
+        assert_eq!(procs.len(), n, "need exactly one process per vertex");
+        let rngs = (0..n)
+            .map(|v| derive_stream(master_seed, StreamKind::Process, v as u64))
+            .collect();
+        let delta = config.graph.delta();
+        let delta_prime = config.graph.delta_prime();
+        let trace = Trace::new(n, config.proc_ids.clone());
+        Engine {
+            graph: config.graph,
+            scheduler: config.scheduler,
+            r: config.r,
+            recording: config.recording,
+            delta,
+            delta_prime,
+            procs,
+            rngs,
+            env,
+            pending_outputs: Vec::new(),
+            round: 0,
+            trace,
+        }
+    }
+
+    /// The number of completed rounds.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The execution trace accumulated so far.
+    pub fn trace(&self) -> &Trace<P::Input, P::Output, P::Msg> {
+        &self.trace
+    }
+
+    /// Consumes the engine, yielding the trace.
+    pub fn into_trace(self) -> Trace<P::Input, P::Output, P::Msg> {
+        self.trace
+    }
+
+    /// Read access to the processes (for instrumentation in experiments).
+    pub fn processes(&self) -> &[P] {
+        &self.procs
+    }
+
+    /// The dual graph being simulated.
+    pub fn graph(&self) -> &DualGraph {
+        &self.graph
+    }
+
+    /// Executes one synchronous round.
+    pub fn step(&mut self) {
+        let n = self.graph.len();
+        let round = self.round + 1;
+
+        // Step 1: environment inputs (receives last round's outputs).
+        let outputs_prev = std::mem::take(&mut self.pending_outputs);
+        let inputs = self.env.next_inputs(round, &outputs_prev);
+        for (v, input) in inputs {
+            assert!(v.0 < n, "environment addressed nonexistent vertex {v}");
+            self.trace.events.push(Event {
+                round,
+                node: v,
+                kind: EventKind::Input(input.clone()),
+            });
+            let ctx = &mut Context {
+                round,
+                id: self.trace.proc_ids[v.0],
+                delta: self.delta,
+                delta_prime: self.delta_prime,
+                r: self.r,
+                rng: &mut self.rngs[v.0],
+            };
+            self.procs[v.0].on_input(input, ctx);
+        }
+
+        // Step 2: transmit decisions.
+        let mut transmitting = vec![false; n];
+        let mut messages: Vec<Option<P::Msg>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let ctx = &mut Context {
+                round,
+                id: self.trace.proc_ids[v],
+                delta: self.delta,
+                delta_prime: self.delta_prime,
+                r: self.r,
+                rng: &mut self.rngs[v],
+            };
+            match self.procs[v].transmit(ctx) {
+                Action::Transmit(m) => {
+                    transmitting[v] = true;
+                    messages.push(Some(m));
+                    if self.recording.transmissions {
+                        self.trace.events.push(Event {
+                            round,
+                            node: NodeId(v),
+                            kind: EventKind::Transmit,
+                        });
+                    }
+                }
+                Action::Receive => messages.push(None),
+            }
+        }
+
+        // Step 3: the scheduler fixes the round topology; resolve
+        // receptions under the collision rule.
+        let selection = match &mut self.scheduler {
+            SchedulerBox::Oblivious(s) => s.extra_edges(round, &self.graph),
+            SchedulerBox::Adaptive(s) => s.extra_edges(round, &self.graph, &transmitting),
+        };
+
+        let mut tx_neighbors = vec![0usize; n];
+        let mut last_sender = vec![NodeId(0); n];
+        for v in 0..n {
+            if !transmitting[v] {
+                continue;
+            }
+            for &u in self.graph.reliable_neighbors(NodeId(v)) {
+                tx_neighbors[u.0] += 1;
+                last_sender[u.0] = NodeId(v);
+            }
+        }
+        let mut apply_edge = |a: NodeId, b: NodeId| {
+            if transmitting[a.0] {
+                tx_neighbors[b.0] += 1;
+                last_sender[b.0] = a;
+            }
+            if transmitting[b.0] {
+                tx_neighbors[a.0] += 1;
+                last_sender[a.0] = b;
+            }
+        };
+        match &selection {
+            EdgeSelection::All => {
+                for e in self.graph.extra_edges() {
+                    apply_edge(e.a, e.b);
+                }
+            }
+            EdgeSelection::None => {}
+            EdgeSelection::Subset(edges) => {
+                for e in edges {
+                    debug_assert!(
+                        self.graph.extra_edges().binary_search(e).is_ok(),
+                        "scheduler returned edge {e:?} outside E' \\ E"
+                    );
+                    apply_edge(e.a, e.b);
+                }
+            }
+        }
+
+        if self.recording.channel_stats {
+            let mut stats = crate::trace::RoundStats {
+                transmitters: transmitting.iter().filter(|t| **t).count(),
+                ..Default::default()
+            };
+            for u in 0..n {
+                if transmitting[u] {
+                    continue;
+                }
+                match tx_neighbors[u] {
+                    0 => stats.silent += 1,
+                    1 => stats.deliveries += 1,
+                    _ => stats.collisions += 1,
+                }
+            }
+            self.trace.round_stats.push(stats);
+        }
+
+        for u in 0..n {
+            let received: Option<P::Msg> = if transmitting[u] {
+                // Transmitters are not receiving this round.
+                None
+            } else if tx_neighbors[u] == 1 {
+                let from = last_sender[u];
+                let msg = messages[from.0]
+                    .clone()
+                    .expect("sender marked transmitting must carry a message");
+                if self.recording.receptions {
+                    self.trace.events.push(Event {
+                        round,
+                        node: NodeId(u),
+                        kind: EventKind::Receive {
+                            from,
+                            msg: msg.clone(),
+                        },
+                    });
+                }
+                Some(msg)
+            } else {
+                None
+            };
+            let ctx = &mut Context {
+                round,
+                id: self.trace.proc_ids[u],
+                delta: self.delta,
+                delta_prime: self.delta_prime,
+                r: self.r,
+                rng: &mut self.rngs[u],
+            };
+            self.procs[u].on_receive(received, ctx);
+        }
+
+        // Step 4: outputs, consumed by the environment at the start of the
+        // next round.
+        for v in 0..n {
+            for out in self.procs[v].take_outputs() {
+                self.trace.events.push(Event {
+                    round,
+                    node: NodeId(v),
+                    kind: EventKind::Output(out.clone()),
+                });
+                self.pending_outputs.push((NodeId(v), out));
+            }
+        }
+
+        self.round = round;
+        self.trace.rounds = round;
+    }
+
+    /// Executes `rounds` additional rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Steps until `pred(trace)` holds or `max_rounds` total rounds have
+    /// run; returns whether the predicate held.
+    pub fn run_until(
+        &mut self,
+        max_rounds: u64,
+        mut pred: impl FnMut(&Trace<P::Input, P::Output, P::Msg>) -> bool,
+    ) -> bool {
+        while self.round < max_rounds {
+            self.step();
+            if pred(&self.trace) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl<P: Process> std::fmt::Debug for Engine<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("n", &self.graph.len())
+            .field("round", &self.round)
+            .field("scheduler", &self.scheduler)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::NullEnvironment;
+    use crate::scheduler::{AllExtraEdges, NoExtraEdges};
+
+    /// A test process: transmits its fixed message on configured rounds,
+    /// listens otherwise, and outputs every message it hears.
+    struct Beacon {
+        msg: u32,
+        tx_rounds: Vec<u64>,
+        heard: Vec<u32>,
+    }
+
+    impl Beacon {
+        fn new(msg: u32, tx_rounds: Vec<u64>) -> Self {
+            Beacon {
+                msg,
+                tx_rounds,
+                heard: Vec::new(),
+            }
+        }
+    }
+
+    impl Process for Beacon {
+        type Msg = u32;
+        type Input = ();
+        type Output = u32;
+
+        fn on_input(&mut self, _input: (), _ctx: &mut Context<'_>) {}
+
+        fn transmit(&mut self, ctx: &mut Context<'_>) -> Action<u32> {
+            if self.tx_rounds.contains(&ctx.round) {
+                Action::Transmit(self.msg)
+            } else {
+                Action::Receive
+            }
+        }
+
+        fn on_receive(&mut self, msg: Option<u32>, _ctx: &mut Context<'_>) {
+            if let Some(m) = msg {
+                self.heard.push(m);
+            }
+        }
+
+        fn take_outputs(&mut self) -> Vec<u32> {
+            std::mem::take(&mut self.heard)
+        }
+    }
+
+    fn run_beacons(
+        graph: DualGraph,
+        scheduler: Box<dyn LinkScheduler>,
+        specs: Vec<(u32, Vec<u64>)>,
+        rounds: u64,
+    ) -> Trace<(), u32, u32> {
+        let procs = specs
+            .into_iter()
+            .map(|(m, r)| Beacon::new(m, r))
+            .collect();
+        let mut engine = Engine::new(
+            Configuration::new(graph, scheduler),
+            procs,
+            Box::new(NullEnvironment),
+            1,
+        );
+        engine.run(rounds);
+        engine.into_trace()
+    }
+
+    #[test]
+    fn sole_transmitter_is_received() {
+        let g = DualGraph::reliable_only(2, [(0, 1)]).unwrap();
+        let trace = run_beacons(
+            g,
+            Box::new(NoExtraEdges),
+            vec![(7, vec![1]), (9, vec![])],
+            1,
+        );
+        let outs: Vec<_> = trace.outputs().collect();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(*outs[0].2, 7);
+        assert_eq!(outs[0].1, NodeId(1));
+    }
+
+    #[test]
+    fn two_transmitters_collide() {
+        // 0 and 2 both transmit to 1 in round 1: collision, 1 hears nothing.
+        let g = DualGraph::reliable_only(3, [(0, 1), (1, 2)]).unwrap();
+        let trace = run_beacons(
+            g,
+            Box::new(NoExtraEdges),
+            vec![(7, vec![1]), (0, vec![]), (8, vec![1])],
+            1,
+        );
+        assert_eq!(trace.outputs().count(), 0);
+    }
+
+    #[test]
+    fn transmitter_does_not_receive() {
+        // Both nodes transmit: neither receives despite being neighbors.
+        let g = DualGraph::reliable_only(2, [(0, 1)]).unwrap();
+        let trace = run_beacons(
+            g,
+            Box::new(NoExtraEdges),
+            vec![(7, vec![1]), (9, vec![1])],
+            1,
+        );
+        assert_eq!(trace.outputs().count(), 0);
+    }
+
+    #[test]
+    fn unreliable_edge_delivers_when_scheduled() {
+        // 0-1 is an extra edge only. With AllExtraEdges the message flows;
+        // with NoExtraEdges it does not.
+        let g = DualGraph::new(2, [], [(0, 1)]).unwrap();
+        let with = run_beacons(
+            g.clone(),
+            Box::new(AllExtraEdges),
+            vec![(7, vec![1]), (9, vec![])],
+            1,
+        );
+        assert_eq!(with.outputs().count(), 1);
+        let without = run_beacons(
+            g,
+            Box::new(NoExtraEdges),
+            vec![(7, vec![1]), (9, vec![])],
+            1,
+        );
+        assert_eq!(without.outputs().count(), 0);
+    }
+
+    #[test]
+    fn unreliable_edge_can_cause_collision() {
+        // 1 hears 0 reliably; extra edge 1-2 brings a second transmitter
+        // into range, colliding the reception.
+        let g = DualGraph::new(3, [(0, 1)], [(1, 2)]).unwrap();
+        let trace = run_beacons(
+            g,
+            Box::new(AllExtraEdges),
+            vec![(7, vec![1]), (0, vec![]), (8, vec![1])],
+            1,
+        );
+        assert_eq!(trace.outputs().count(), 0);
+    }
+
+    #[test]
+    fn non_neighbors_do_not_hear() {
+        let g = DualGraph::reliable_only(3, [(0, 1)]).unwrap();
+        let trace = run_beacons(
+            g,
+            Box::new(NoExtraEdges),
+            vec![(7, vec![1]), (0, vec![]), (8, vec![])],
+            1,
+        );
+        // Only node 1 hears node 0; node 2 is isolated.
+        let outs: Vec<_> = trace.outputs().collect();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].1, NodeId(1));
+    }
+
+    #[test]
+    fn channel_stats_classify_listeners() {
+        // Path 0-1-2-3: nodes 0 and 2 transmit. Node 1 has two
+        // transmitting neighbors (collision); node 3 has one (delivery);
+        // transmitters are not counted as listeners.
+        let g = DualGraph::reliable_only(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let procs = vec![
+            Beacon::new(1, vec![1]),
+            Beacon::new(2, vec![]),
+            Beacon::new(3, vec![1]),
+            Beacon::new(4, vec![]),
+        ];
+        let config = Configuration::new(g, Box::new(NoExtraEdges))
+            .with_recording(crate::trace::RecordingPolicy::stats_only());
+        let mut engine = Engine::new(config, procs, Box::new(NullEnvironment), 1);
+        engine.step();
+        let stats = engine.trace().round_stats[0];
+        assert_eq!(stats.transmitters, 2);
+        assert_eq!(stats.deliveries, 1);
+        assert_eq!(stats.collisions, 1);
+        assert_eq!(stats.silent, 0);
+        let total = engine.trace().total_stats();
+        assert_eq!(total.deliveries, 1);
+    }
+
+    #[test]
+    fn stats_absent_without_policy() {
+        let g = DualGraph::reliable_only(2, [(0, 1)]).unwrap();
+        let procs = vec![Beacon::new(1, vec![1]), Beacon::new(2, vec![])];
+        let mut engine = Engine::new(
+            Configuration::new(g, Box::new(NoExtraEdges)),
+            procs,
+            Box::new(NullEnvironment),
+            1,
+        );
+        engine.run(3);
+        assert!(engine.trace().round_stats.is_empty());
+    }
+
+    #[test]
+    fn executions_are_deterministic() {
+        let g = DualGraph::new(4, [(0, 1), (1, 2), (2, 3)], [(0, 2), (1, 3)]).unwrap();
+        let mk = || {
+            run_beacons(
+                g.clone(),
+                Box::new(crate::scheduler::BernoulliEdges::new(0.5, 11)),
+                vec![
+                    (1, vec![1, 3, 5]),
+                    (2, vec![2, 4]),
+                    (3, vec![1, 2, 3]),
+                    (4, vec![5]),
+                ],
+                6,
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn run_until_stops_at_predicate() {
+        let g = DualGraph::reliable_only(2, [(0, 1)]).unwrap();
+        let procs = vec![Beacon::new(5, vec![3]), Beacon::new(6, vec![])];
+        let mut engine = Engine::new(
+            Configuration::new(g, Box::new(NoExtraEdges)),
+            procs,
+            Box::new(NullEnvironment),
+            1,
+        );
+        let hit = engine.run_until(10, |t| t.outputs().count() > 0);
+        assert!(hit);
+        assert_eq!(engine.round(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one process per vertex")]
+    fn engine_rejects_wrong_process_count() {
+        let g = DualGraph::reliable_only(2, [(0, 1)]).unwrap();
+        let _ = Engine::new(
+            Configuration::new(g, Box::new(NoExtraEdges)),
+            vec![Beacon::new(1, vec![])],
+            Box::new(NullEnvironment),
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "injective")]
+    fn configuration_rejects_duplicate_ids() {
+        let g = DualGraph::reliable_only(2, [(0, 1)]).unwrap();
+        let _ = Configuration::new(g, Box::new(NoExtraEdges)).with_proc_ids(vec![3, 3]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Deterministic environments: the source of inputs and sink of outputs.
+//!
+//! Section 2 models the environment as a synchronous deterministic
+//! automaton that consumes node outputs (e.g. `ack`) and produces node
+//! inputs (e.g. `bcast`). Fixing the environment — like fixing the link
+//! scheduler — resolves all non-probabilistic nondeterminism of a
+//! configuration.
+
+use crate::graph::NodeId;
+
+/// A deterministic environment for an algorithm with inputs `I` and
+/// outputs `O`.
+///
+/// At the start of round `t`, the engine calls
+/// [`Environment::next_inputs`] with the outputs generated at the end of
+/// round `t − 1` (empty for `t = 1`); the returned `(vertex, input)` pairs
+/// are delivered before the transmit step.
+pub trait Environment<I, O>: Send {
+    /// Produces the inputs for `round`, given the previous round's outputs.
+    fn next_inputs(&mut self, round: u64, prev_outputs: &[(NodeId, O)]) -> Vec<(NodeId, I)>;
+}
+
+/// The environment that never provides inputs (used by input-free
+/// protocols such as seed agreement).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullEnvironment;
+
+impl<I, O> Environment<I, O> for NullEnvironment {
+    fn next_inputs(&mut self, _round: u64, _prev: &[(NodeId, O)]) -> Vec<(NodeId, I)> {
+        Vec::new()
+    }
+}
+
+/// An environment driven by a fixed script: input `i` is delivered to
+/// vertex `v` at round `t` regardless of outputs.
+#[derive(Debug, Clone)]
+pub struct ScriptedEnvironment<I> {
+    script: Vec<(u64, NodeId, I)>,
+    cursor: usize,
+}
+
+impl<I: Clone> ScriptedEnvironment<I> {
+    /// Creates an environment from `(round, vertex, input)` triples.
+    /// Entries are sorted by round; rounds start at 1.
+    pub fn new(mut script: Vec<(u64, NodeId, I)>) -> Self {
+        script.sort_by_key(|(t, v, _)| (*t, *v));
+        ScriptedEnvironment { script, cursor: 0 }
+    }
+}
+
+impl<I: Clone + Send, O> Environment<I, O> for ScriptedEnvironment<I>
+where
+    I: Clone + Send,
+{
+    fn next_inputs(&mut self, round: u64, _prev: &[(NodeId, O)]) -> Vec<(NodeId, I)> {
+        let mut out = Vec::new();
+        while self.cursor < self.script.len() && self.script[self.cursor].0 == round {
+            let (_, v, i) = &self.script[self.cursor];
+            out.push((*v, i.clone()));
+            self.cursor += 1;
+        }
+        out
+    }
+}
+
+/// An environment defined by a closure, for ad-hoc reactive environments
+/// in tests and experiments.
+pub struct FnEnvironment<F> {
+    f: F,
+}
+
+impl<F> FnEnvironment<F> {
+    /// Wraps a closure `(round, prev_outputs) -> inputs`.
+    pub fn new(f: F) -> Self {
+        FnEnvironment { f }
+    }
+}
+
+impl<I, O, F> Environment<I, O> for FnEnvironment<F>
+where
+    F: FnMut(u64, &[(NodeId, O)]) -> Vec<(NodeId, I)> + Send,
+{
+    fn next_inputs(&mut self, round: u64, prev: &[(NodeId, O)]) -> Vec<(NodeId, I)> {
+        (self.f)(round, prev)
+    }
+}
+
+impl<F> std::fmt::Debug for FnEnvironment<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnEnvironment").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_environment_is_silent() {
+        let mut env = NullEnvironment;
+        let inputs: Vec<(NodeId, u8)> =
+            Environment::<u8, ()>::next_inputs(&mut env, 1, &[]);
+        assert!(inputs.is_empty());
+    }
+
+    #[test]
+    fn scripted_environment_delivers_in_round_order() {
+        let mut env = ScriptedEnvironment::new(vec![
+            (2, NodeId(1), "b"),
+            (1, NodeId(0), "a"),
+            (2, NodeId(2), "c"),
+        ]);
+        let r1: Vec<(NodeId, &str)> = Environment::<&str, ()>::next_inputs(&mut env, 1, &[]);
+        assert_eq!(r1, vec![(NodeId(0), "a")]);
+        let r2: Vec<(NodeId, &str)> = Environment::<&str, ()>::next_inputs(&mut env, 2, &[]);
+        assert_eq!(r2, vec![(NodeId(1), "b"), (NodeId(2), "c")]);
+        let r3: Vec<(NodeId, &str)> = Environment::<&str, ()>::next_inputs(&mut env, 3, &[]);
+        assert!(r3.is_empty());
+    }
+
+    #[test]
+    fn fn_environment_reacts_to_outputs() {
+        let mut env = FnEnvironment::new(|round, prev: &[(NodeId, u32)]| {
+            if prev.is_empty() && round == 1 {
+                vec![(NodeId(0), 99u32)]
+            } else {
+                prev.iter().map(|(v, o)| (*v, o + 1)).collect()
+            }
+        });
+        let r1 = env.next_inputs(1, &[]);
+        assert_eq!(r1, vec![(NodeId(0), 99)]);
+        let r2 = env.next_inputs(2, &[(NodeId(3), 10)]);
+        assert_eq!(r2, vec![(NodeId(3), 11)]);
+    }
+}

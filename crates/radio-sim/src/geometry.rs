@@ -1,0 +1,388 @@
+//! Euclidean embeddings, the `r`-geographic property, and region partitions.
+//!
+//! Appendix A of the paper replaces the usual union-bound-over-vertices
+//! arguments with a partition of the *plane* into convex regions. We
+//! implement the concrete partition of Lemma A.1: a uniform grid of
+//! axis-aligned squares of side 1/2, each square owning its upper-left
+//! corner, its upper edge (excluding endpoints), and its left edge
+//! (excluding endpoints), so that the squares tile the plane exactly.
+//!
+//! Key facts reproduced here and checked by tests:
+//!
+//! * every region has diameter ≤ 1 (so all nodes embedded in one region are
+//!   reliable `G`-neighbors);
+//! * for every region `R` and hop radius `h` in the region graph
+//!   `G_{R,r}`, at most `f(h) = c₁ r² h²` regions lie within `h` hops
+//!   (Lemma A.2, `f`-boundedness);
+//! * `Δ' ≤ c_r Δ` for `r`-geographic dual graphs (Lemma A.3).
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the Euclidean plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// An embedding of graph vertices in the plane: vertex `i` sits at
+/// `points[i]`.
+///
+/// An embedding witnesses the *r-geographic* property of a dual graph
+/// (Section 2): nodes within distance 1 must be reliable neighbors, and
+/// nodes farther than `r` apart must not even be unreliable neighbors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Embedding {
+    points: Vec<Point>,
+}
+
+impl Embedding {
+    /// Creates an embedding from per-vertex coordinates.
+    pub fn new(points: Vec<Point>) -> Self {
+        Embedding { points }
+    }
+
+    /// The number of embedded vertices.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the embedding contains no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The position of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn position(&self, v: usize) -> Point {
+        self.points[v]
+    }
+
+    /// Euclidean distance between two embedded vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is out of range.
+    pub fn distance(&self, u: usize, v: usize) -> f64 {
+        self.points[u].distance(&self.points[v])
+    }
+
+    /// Iterates over the embedded points in vertex order.
+    pub fn iter(&self) -> impl Iterator<Item = &Point> {
+        self.points.iter()
+    }
+}
+
+/// Identifier of a grid region: the square with corners
+/// `(ix/2, iy/2)`–`((ix+1)/2, (iy+1)/2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId {
+    /// Horizontal grid index (point `p` has `ix = floor(2 p.x)`).
+    pub ix: i64,
+    /// Vertical grid index.
+    pub iy: i64,
+}
+
+/// The fixed partition of the plane from Lemma A.1: half-open squares of
+/// side 1/2.
+///
+/// The partition is parametrized by `r ≥ 1`, which determines region
+/// adjacency: two distinct regions are neighbors in the *region graph*
+/// `G_{R,r}` exactly when some pair of their points lies within distance
+/// `r`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionPartition {
+    r: f64,
+}
+
+/// Side length of each grid square in the region partition.
+pub const REGION_SIDE: f64 = 0.5;
+
+impl RegionPartition {
+    /// Creates the partition for geographic parameter `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r < 1`, which the model forbids (Section 2 fixes
+    /// `r ≥ 1`).
+    pub fn new(r: f64) -> Self {
+        assert!(r >= 1.0, "the dual graph model requires r >= 1, got {r}");
+        RegionPartition { r }
+    }
+
+    /// The geographic parameter `r` this partition was built for.
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// The region containing point `p`.
+    ///
+    /// The half-open square convention of Lemma A.1 means a point on a
+    /// square's left or top edge belongs to that square; `floor` on the
+    /// scaled coordinates implements exactly this tiling.
+    pub fn region_of(&self, p: Point) -> RegionId {
+        RegionId {
+            ix: (p.x / REGION_SIDE).floor() as i64,
+            iy: (p.y / REGION_SIDE).floor() as i64,
+        }
+    }
+
+    /// Minimum Euclidean distance between the closed squares of two regions.
+    ///
+    /// Used to decide region-graph adjacency: regions `a != b` are
+    /// adjacent iff this distance is ≤ `r`. (The distance between a region
+    /// and itself is 0.)
+    pub fn region_distance(&self, a: RegionId, b: RegionId) -> f64 {
+        let gap = |da: i64| -> f64 {
+            // Number of whole squares strictly between the two intervals.
+            let d = (da.abs() - 1).max(0) as f64;
+            d * REGION_SIDE
+        };
+        let gx = gap(a.ix - b.ix);
+        let gy = gap(a.iy - b.iy);
+        (gx * gx + gy * gy).sqrt()
+    }
+
+    /// Whether regions `a` and `b` are adjacent in the region graph
+    /// `G_{R,r}` (distinct regions within distance `r`).
+    pub fn adjacent(&self, a: RegionId, b: RegionId) -> bool {
+        a != b && self.region_distance(a, b) <= self.r
+    }
+
+    /// All regions within hop distance `h` of `a` in the region graph,
+    /// including `a` itself.
+    ///
+    /// Because adjacency is determined by index offsets alone, a breadth
+    /// bound of `ceil(2r) + 1` index steps per hop is exact; we enumerate
+    /// the bounding box and filter by hop distance computed via BFS over
+    /// indices.
+    pub fn regions_within_hops(&self, a: RegionId, h: u32) -> Vec<RegionId> {
+        use std::collections::{HashMap, VecDeque};
+        let mut dist: HashMap<RegionId, u32> = HashMap::new();
+        let mut queue = VecDeque::new();
+        dist.insert(a, 0);
+        queue.push_back(a);
+        // One region hop can move at most `step` grid indices per axis.
+        let step = (2.0 * self.r).ceil() as i64 + 1;
+        while let Some(cur) = queue.pop_front() {
+            let d = dist[&cur];
+            if d == h {
+                continue;
+            }
+            for dx in -step..=step {
+                for dy in -step..=step {
+                    let nb = RegionId {
+                        ix: cur.ix + dx,
+                        iy: cur.iy + dy,
+                    };
+                    if nb != cur && self.adjacent(cur, nb) && !dist.contains_key(&nb) {
+                        dist.insert(nb, d + 1);
+                        queue.push_back(nb);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<RegionId> = dist.into_keys().collect();
+        out.sort();
+        out
+    }
+
+    /// The `f`-boundedness constant of Lemma A.2: with the grid partition,
+    /// at most `c₁ r² h²` regions lie within `h` hops of any region. This
+    /// returns a valid `c₁` for the grid construction.
+    ///
+    /// One hop in `G_{R,r}` spans at most `2r + √2/2 ≤ 2r + 1` in the
+    /// plane diagonally, i.e. at most `⌈2(2r+1)⌉` grid indices per axis, so
+    /// within `h` hops the regions fit in a square of side
+    /// `(2h(4r+2)+1)` indices; `c₁ = 121` dominates for all `r ≥ 1, h ≥ 1`.
+    pub fn c1(&self) -> f64 {
+        121.0
+    }
+
+    /// `c_r = c₁ r²`, the per-hop region-count scale (Appendix B.1).
+    pub fn cr(&self) -> f64 {
+        self.c1() * self.r * self.r
+    }
+
+    /// Groups embedded vertices by region, returning `(region, members)`
+    /// pairs sorted by region id.
+    pub fn group_vertices(&self, emb: &Embedding) -> Vec<(RegionId, Vec<usize>)> {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<RegionId, Vec<usize>> = BTreeMap::new();
+        for (v, p) in emb.iter().enumerate() {
+            map.entry(self.region_of(*p)).or_default().push(v);
+        }
+        map.into_iter().collect()
+    }
+}
+
+/// Verifies the two r-geographic conditions of Section 2 for a dual graph
+/// described by its reliable adjacency test and unreliable adjacency test.
+///
+/// Returns `Ok(())` when for all pairs `u != v`:
+/// 1. `d(u,v) ≤ 1` implies `{u,v} ∈ E`, and
+/// 2. `d(u,v) > r` implies `{u,v} ∉ E'`.
+///
+/// # Errors
+///
+/// Returns the first violating pair with a description.
+pub fn check_r_geographic(
+    emb: &Embedding,
+    r: f64,
+    is_reliable_edge: impl Fn(usize, usize) -> bool,
+    is_any_edge: impl Fn(usize, usize) -> bool,
+) -> Result<(), String> {
+    let n = emb.len();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = emb.distance(u, v);
+            if d <= 1.0 && !is_reliable_edge(u, v) {
+                return Err(format!(
+                    "vertices {u},{v} at distance {d:.4} <= 1 lack a reliable edge"
+                ));
+            }
+            if d > r && is_any_edge(u, v) {
+                return Err(format!(
+                    "vertices {u},{v} at distance {d:.4} > r={r} share an edge in G'"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_of_respects_half_open_tiling() {
+        let part = RegionPartition::new(1.0);
+        // Origin belongs to the square [0, 0.5) x [0, 0.5).
+        assert_eq!(part.region_of(Point::new(0.0, 0.0)), RegionId { ix: 0, iy: 0 });
+        // The point exactly at 0.5 belongs to the next square.
+        assert_eq!(part.region_of(Point::new(0.5, 0.0)), RegionId { ix: 1, iy: 0 });
+        assert_eq!(
+            part.region_of(Point::new(-0.0001, 0.2)),
+            RegionId { ix: -1, iy: 0 }
+        );
+    }
+
+    #[test]
+    fn region_diameter_at_most_one() {
+        // Any two points in one side-1/2 square are within sqrt(2)/2 < 1.
+        let part = RegionPartition::new(1.0);
+        let p = Point::new(0.01, 0.01);
+        let q = Point::new(0.49, 0.49);
+        assert_eq!(part.region_of(p), part.region_of(q));
+        assert!(p.distance(&q) <= 1.0);
+    }
+
+    #[test]
+    fn region_distance_zero_for_touching_squares() {
+        let part = RegionPartition::new(1.0);
+        let a = RegionId { ix: 0, iy: 0 };
+        let b = RegionId { ix: 1, iy: 0 };
+        assert_eq!(part.region_distance(a, b), 0.0);
+        let c = RegionId { ix: 3, iy: 0 };
+        // Two whole squares between: gap 2 * 0.5 = 1.0.
+        assert!((part.region_distance(a, c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_irreflexive() {
+        let part = RegionPartition::new(2.0);
+        let a = RegionId { ix: 0, iy: 0 };
+        let b = RegionId { ix: 4, iy: 1 };
+        assert_eq!(part.adjacent(a, b), part.adjacent(b, a));
+        assert!(!part.adjacent(a, a));
+    }
+
+    #[test]
+    fn regions_within_zero_hops_is_self() {
+        let part = RegionPartition::new(1.5);
+        let a = RegionId { ix: 2, iy: -3 };
+        assert_eq!(part.regions_within_hops(a, 0), vec![a]);
+    }
+
+    #[test]
+    fn f_boundedness_holds_for_small_h() {
+        for r in [1.0, 1.5, 2.0, 3.0] {
+            let part = RegionPartition::new(r);
+            let a = RegionId { ix: 0, iy: 0 };
+            for h in 1..=3u32 {
+                let count = part.regions_within_hops(a, h).len() as f64;
+                let bound = part.c1() * r * r * (h as f64) * (h as f64);
+                assert!(
+                    count <= bound,
+                    "r={r} h={h}: {count} regions exceeds c1*r^2*h^2 = {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_hop_neighbor_count_below_cr() {
+        // Lemma A.2: any region has at most c_r - 1 neighbors.
+        for r in [1.0, 2.0, 4.0] {
+            let part = RegionPartition::new(r);
+            let a = RegionId { ix: 0, iy: 0 };
+            let neighbors = part.regions_within_hops(a, 1).len() - 1;
+            assert!((neighbors as f64) < part.cr());
+        }
+    }
+
+    #[test]
+    fn check_r_geographic_accepts_valid_and_rejects_invalid() {
+        let emb = Embedding::new(vec![Point::new(0.0, 0.0), Point::new(0.8, 0.0)]);
+        // distance 0.8 <= 1: must be a reliable edge.
+        assert!(check_r_geographic(&emb, 2.0, |_, _| true, |_, _| true).is_ok());
+        let err = check_r_geographic(&emb, 2.0, |_, _| false, |_, _| false);
+        assert!(err.is_err());
+
+        let far = Embedding::new(vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)]);
+        // distance 5 > r=2: must not be any edge.
+        assert!(check_r_geographic(&far, 2.0, |_, _| false, |_, _| true).is_err());
+        assert!(check_r_geographic(&far, 2.0, |_, _| false, |_, _| false).is_ok());
+    }
+
+    #[test]
+    fn group_vertices_partitions_all() {
+        let emb = Embedding::new(vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.2, 0.2),
+            Point::new(3.0, 3.0),
+        ]);
+        let part = RegionPartition::new(1.0);
+        let groups = part.group_vertices(&emb);
+        let total: usize = groups.iter().map(|(_, m)| m.len()).sum();
+        assert_eq!(total, 3);
+        assert_eq!(groups.len(), 2);
+    }
+}

@@ -1,0 +1,332 @@
+//! The dual graph `(G, G')`: reliable links plus an unreliable fringe.
+//!
+//! Following Section 2 of the paper, the network topology is described by a
+//! pair of graphs over the same vertices, `G = (V, E)` (reliable links) and
+//! `G' = (V, E')` with `E ⊆ E'`; the edges `E' \ E` are *unreliable* and
+//! their per-round presence is decided by a link scheduler.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of a graph vertex. The engine assigns process ids separately (the
+/// paper's `id()` mapping); `NodeId` is the *vertex*, not the process id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An undirected edge, stored with endpoints ordered so `a <= b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub a: NodeId,
+    /// Larger endpoint.
+    pub b: NodeId,
+}
+
+impl Edge {
+    /// Creates a normalized undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, which the model forbids.
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        assert_ne!(u, v, "self-loops are not allowed in the dual graph");
+        if u.0 <= v.0 {
+            Edge { a: u, b: v }
+        } else {
+            Edge { a: v, b: u }
+        }
+    }
+
+    /// The endpoint opposite to `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint.
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.a {
+            self.b
+        } else if x == self.b {
+            self.a
+        } else {
+            panic!("{x} is not an endpoint of {self:?}")
+        }
+    }
+}
+
+/// Errors arising when constructing a [`DualGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a vertex index `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// The same edge appeared in both the reliable set and the extra
+    /// (unreliable) set, violating `E' \ E` disjointness.
+    DuplicateEdge(Edge),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "edge references vertex {vertex} but graph has {n} vertices")
+            }
+            GraphError::DuplicateEdge(e) => {
+                write!(f, "edge {e:?} listed as both reliable and unreliable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// The dual graph `(G, G')` of Section 2.
+///
+/// Stored as the reliable edge set `E` and the *extra* edge set `E' \ E`.
+/// Construction validates that the two sets are disjoint and in range, so a
+/// `DualGraph` value always satisfies the model's structural invariants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DualGraph {
+    n: usize,
+    reliable_adj: Vec<Vec<NodeId>>,
+    extra_adj: Vec<Vec<NodeId>>,
+    reliable_edges: Vec<Edge>,
+    extra_edges: Vec<Edge>,
+}
+
+impl DualGraph {
+    /// Builds a dual graph from `n` vertices, reliable edges `E`, and extra
+    /// unreliable edges `E' \ E`.
+    ///
+    /// Duplicate edges within one list are deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an endpoint is out of range or an edge
+    /// appears in both lists.
+    pub fn new(
+        n: usize,
+        reliable: impl IntoIterator<Item = (usize, usize)>,
+        extra: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self, GraphError> {
+        let mut rel = BTreeSet::new();
+        for (u, v) in reliable {
+            for &x in &[u, v] {
+                if x >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: x, n });
+                }
+            }
+            rel.insert(Edge::new(NodeId(u), NodeId(v)));
+        }
+        let mut ext = BTreeSet::new();
+        for (u, v) in extra {
+            for &x in &[u, v] {
+                if x >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: x, n });
+                }
+            }
+            let e = Edge::new(NodeId(u), NodeId(v));
+            if rel.contains(&e) {
+                return Err(GraphError::DuplicateEdge(e));
+            }
+            ext.insert(e);
+        }
+
+        let mut reliable_adj = vec![Vec::new(); n];
+        for e in &rel {
+            reliable_adj[e.a.0].push(e.b);
+            reliable_adj[e.b.0].push(e.a);
+        }
+        let mut extra_adj = vec![Vec::new(); n];
+        for e in &ext {
+            extra_adj[e.a.0].push(e.b);
+            extra_adj[e.b.0].push(e.a);
+        }
+        for adj in reliable_adj.iter_mut().chain(extra_adj.iter_mut()) {
+            adj.sort();
+        }
+        Ok(DualGraph {
+            n,
+            reliable_adj,
+            extra_adj,
+            reliable_edges: rel.into_iter().collect(),
+            extra_edges: ext.into_iter().collect(),
+        })
+    }
+
+    /// A graph with only reliable edges (`E' = E`), i.e. the classical
+    /// reliable radio network model as a special case.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an endpoint is out of range.
+    pub fn reliable_only(
+        n: usize,
+        reliable: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self, GraphError> {
+        Self::new(n, reliable, std::iter::empty())
+    }
+
+    /// Number of vertices `|V|`. The paper calls this `n`; crucially, the
+    /// *algorithms* never read it — only analysis code does.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n).map(NodeId)
+    }
+
+    /// `N_G(u)`: reliable neighbors of `u`, excluding `u` itself.
+    pub fn reliable_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.reliable_adj[u.0]
+    }
+
+    /// Neighbors of `u` through *extra* (unreliable-only) edges.
+    pub fn extra_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.extra_adj[u.0]
+    }
+
+    /// `N_{G'}(u)`: all neighbors of `u` in `G'`, excluding `u`.
+    pub fn all_neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.reliable_adj[u.0]
+            .iter()
+            .chain(self.extra_adj[u.0].iter())
+            .copied()
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Whether `{u, v} ∈ E`.
+    pub fn is_reliable_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.reliable_adj[u.0].binary_search(&v).is_ok()
+    }
+
+    /// Whether `{u, v} ∈ E'` (reliable or unreliable).
+    pub fn is_any_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v
+            && (self.reliable_adj[u.0].binary_search(&v).is_ok()
+                || self.extra_adj[u.0].binary_search(&v).is_ok())
+    }
+
+    /// The reliable edge list `E`.
+    pub fn reliable_edges(&self) -> &[Edge] {
+        &self.reliable_edges
+    }
+
+    /// The extra edge list `E' \ E`.
+    pub fn extra_edges(&self) -> &[Edge] {
+        &self.extra_edges
+    }
+
+    /// `Δ`: the maximum over `u` of `|N_G(u) ∪ {u}|`.
+    ///
+    /// Processes are assumed to *know* this bound (Section 2), so the
+    /// engine passes it to every process at start.
+    pub fn delta(&self) -> usize {
+        self.reliable_adj
+            .iter()
+            .map(|a| a.len() + 1)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// `Δ'`: the maximum over `u` of `|N_{G'}(u) ∪ {u}|`.
+    pub fn delta_prime(&self) -> usize {
+        (0..self.n)
+            .map(|u| {
+                let mut set: BTreeSet<NodeId> = self.reliable_adj[u].iter().copied().collect();
+                set.extend(self.extra_adj[u].iter().copied());
+                set.len() + 1
+            })
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> DualGraph {
+        // 0-1 reliable, 1-2 reliable, 0-2 unreliable.
+        DualGraph::new(3, [(0, 1), (1, 2)], [(0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let g = triangle();
+        assert!(g.is_reliable_edge(NodeId(0), NodeId(1)));
+        assert!(!g.is_reliable_edge(NodeId(0), NodeId(2)));
+        assert!(g.is_any_edge(NodeId(0), NodeId(2)));
+        assert!(!g.is_any_edge(NodeId(0), NodeId(0)));
+        assert_eq!(g.reliable_neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(g.extra_neighbors(NodeId(0)), &[NodeId(2)]);
+        assert_eq!(g.all_neighbors(NodeId(0)), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn degree_bounds() {
+        let g = triangle();
+        // Node 1 has two reliable neighbors: delta = 3.
+        assert_eq!(g.delta(), 3);
+        // Every node sees both others in G': delta' = 3.
+        assert_eq!(g.delta_prime(), 3);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = DualGraph::new(2, [(0, 5)], []).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, n: 2 }));
+    }
+
+    #[test]
+    fn rejects_edge_in_both_sets() {
+        let err = DualGraph::new(2, [(0, 1)], [(1, 0)]).unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge(_)));
+    }
+
+    #[test]
+    fn deduplicates_repeated_edges() {
+        let g = DualGraph::new(2, [(0, 1), (1, 0)], []).unwrap();
+        assert_eq!(g.reliable_edges().len(), 1);
+    }
+
+    #[test]
+    fn edge_normalization_and_other() {
+        let e = Edge::new(NodeId(5), NodeId(2));
+        assert_eq!(e.a, NodeId(2));
+        assert_eq!(e.other(NodeId(2)), NodeId(5));
+        assert_eq!(e.other(NodeId(5)), NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DualGraph::new(0, [], []).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.delta(), 1);
+    }
+}

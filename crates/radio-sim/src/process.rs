@@ -1,0 +1,86 @@
+//! The [`Process`] trait: probabilistic automata assigned to graph vertices.
+//!
+//! Section 2 of the paper models wireless devices as "probabilistic timed
+//! automata"; each knows its own id and the degree bounds `Δ` and `Δ'`, but
+//! **not** the network size `n` nor the id assignment. The [`Context`]
+//! passed to every callback exposes exactly that knowledge plus the node's
+//! private random stream — nothing global.
+
+use rand_chacha::ChaCha8Rng;
+
+/// A process identifier from the id space `I` (the paper's `proc(i)`).
+///
+/// Distinct from [`crate::graph::NodeId`]: the engine's id assignment maps
+/// vertices to process ids injectively, and algorithms must only ever see
+/// the `ProcId`.
+pub type ProcId = u64;
+
+/// What a process does in the transmit step of a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<M> {
+    /// Transmit the given message.
+    Transmit(M),
+    /// Listen (the default).
+    Receive,
+}
+
+/// Per-round, per-process knowledge: everything a *truly local* algorithm
+/// is allowed to depend on.
+#[derive(Debug)]
+pub struct Context<'a> {
+    /// The current round, starting from 1 as in the paper.
+    pub round: u64,
+    /// This process's id (the paper's `i` in `proc(i)`).
+    pub id: ProcId,
+    /// Upper bound on `|N_G(u) ∪ {u}|`, known to all processes.
+    pub delta: usize,
+    /// Upper bound on `|N_G'(u) ∪ {u}|`, known to all processes.
+    pub delta_prime: usize,
+    /// The geographic parameter `r` of the model (fixed per Section 2).
+    pub r: f64,
+    /// The process's private source of randomness.
+    pub rng: &'a mut ChaCha8Rng,
+}
+
+/// A process: the algorithm running at one graph vertex.
+///
+/// The engine drives each round through the Section 2 step order:
+/// [`Process::on_input`] for environment inputs, then [`Process::transmit`]
+/// for the transmit/listen decision, then [`Process::on_receive`] with the
+/// collision-resolved reception, and finally [`Process::take_outputs`] to
+/// drain outputs for the environment.
+pub trait Process: Send {
+    /// Message type carried on the channel.
+    type Msg: Clone + Send;
+    /// Inputs delivered by the environment (e.g. `bcast(m)`).
+    type Input: Clone + Send;
+    /// Outputs consumed by the environment (e.g. `ack(m)`, `recv(m)`).
+    type Output: Clone + Send;
+
+    /// Handles an environment input at the start of a round.
+    fn on_input(&mut self, input: Self::Input, ctx: &mut Context<'_>);
+
+    /// Decides whether to transmit or listen this round.
+    fn transmit(&mut self, ctx: &mut Context<'_>) -> Action<Self::Msg>;
+
+    /// Handles the round's reception: `Some(m)` when exactly one
+    /// topology-neighbor transmitted `m` and this process was listening;
+    /// `None` (the paper's `⊥`) on silence, collision, or when this
+    /// process itself transmitted. No collision detection.
+    fn on_receive(&mut self, msg: Option<Self::Msg>, ctx: &mut Context<'_>);
+
+    /// Drains outputs generated this round (end-of-round step).
+    fn take_outputs(&mut self) -> Vec<Self::Output>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_equality() {
+        let a: Action<u32> = Action::Transmit(7);
+        assert_eq!(a, Action::Transmit(7));
+        assert_ne!(a, Action::Receive);
+    }
+}

@@ -1,0 +1,452 @@
+//! Topology generators: the network families used across experiments.
+//!
+//! Every generator returns a [`Topology`]: a dual graph together with the
+//! Euclidean embedding witnessing its `r`-geographic property (Section 2).
+//! The grey zone — pairs at distance in `(1, r]` — is where the model's
+//! adversarial flexibility lives: such pairs may be reliable neighbors,
+//! unreliable neighbors, or non-neighbors, and the generators expose
+//! parameters controlling that choice.
+
+use crate::engine::Configuration;
+use crate::geometry::{check_r_geographic, Embedding, Point};
+use crate::graph::DualGraph;
+use crate::rng::{derive_stream, StreamKind};
+use crate::scheduler::LinkScheduler;
+use rand::Rng;
+
+/// A generated network: dual graph plus its witnessing embedding.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// The dual graph `(G, G')`.
+    pub graph: DualGraph,
+    /// The embedding witnessing `r`-geography.
+    pub embedding: Embedding,
+    /// The geographic parameter.
+    pub r: f64,
+}
+
+impl Topology {
+    /// Wraps this topology and a scheduler into an engine
+    /// [`Configuration`], propagating `r`.
+    pub fn configuration(&self, scheduler: Box<dyn LinkScheduler>) -> Configuration {
+        Configuration::new(self.graph.clone(), scheduler).with_r(self.r)
+    }
+
+    /// Verifies the two r-geographic conditions against the embedding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violating pair.
+    pub fn check_geographic(&self) -> Result<(), String> {
+        let g = &self.graph;
+        check_r_geographic(
+            &self.embedding,
+            self.r,
+            |u, v| g.is_reliable_edge(crate::graph::NodeId(u), crate::graph::NodeId(v)),
+            |u, v| g.is_any_edge(crate::graph::NodeId(u), crate::graph::NodeId(v)),
+        )
+    }
+}
+
+fn build_from_embedding(
+    emb: Embedding,
+    r: f64,
+    mut grey_decision: impl FnMut(usize, usize, f64) -> GreyKind,
+) -> Topology {
+    let n = emb.len();
+    let mut reliable = Vec::new();
+    let mut extra = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = emb.distance(u, v);
+            if d <= 1.0 {
+                reliable.push((u, v));
+            } else if d <= r {
+                match grey_decision(u, v, d) {
+                    GreyKind::Reliable => reliable.push((u, v)),
+                    GreyKind::Unreliable => extra.push((u, v)),
+                    GreyKind::Absent => {}
+                }
+            }
+        }
+    }
+    let graph = DualGraph::new(n, reliable, extra)
+        .expect("generator produced structurally valid edges");
+    Topology {
+        graph,
+        embedding: emb,
+        r,
+    }
+}
+
+/// How a grey-zone pair (distance in `(1, r]`) is wired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GreyKind {
+    /// The pair gets a reliable edge (allowed by the model).
+    Reliable,
+    /// The pair gets an unreliable edge (scheduler-controlled).
+    Unreliable,
+    /// The pair gets no edge.
+    Absent,
+}
+
+/// Builds a topology from an explicit embedding, wiring every grey-zone
+/// pair (distance in `(1, r]`) the same way. Experiments use this to
+/// construct bespoke adversarial arenas.
+pub fn from_embedding(emb: Embedding, r: f64, grey: GreyKind) -> Topology {
+    build_from_embedding(emb, r, |_, _, _| grey)
+}
+
+/// Parameters for [`random_geometric`].
+#[derive(Debug, Clone, Copy)]
+pub struct RggParams {
+    /// Number of nodes.
+    pub n: usize,
+    /// Side length of the square deployment area.
+    pub side: f64,
+    /// Geographic parameter `r ≥ 1`.
+    pub r: f64,
+    /// Probability a grey-zone pair becomes a *reliable* edge.
+    pub grey_reliable_p: f64,
+    /// Probability a grey-zone pair (not made reliable) becomes an
+    /// *unreliable* edge.
+    pub grey_unreliable_p: f64,
+    /// Seed for placement and grey-zone wiring.
+    pub seed: u64,
+}
+
+impl Default for RggParams {
+    fn default() -> Self {
+        RggParams {
+            n: 50,
+            side: 4.0,
+            r: 2.0,
+            grey_reliable_p: 0.1,
+            grey_unreliable_p: 0.8,
+            seed: 0,
+        }
+    }
+}
+
+/// A random geometric dual graph: nodes placed uniformly in a
+/// `side × side` square; pairs within distance 1 are reliable; grey-zone
+/// pairs are wired per the probabilities in `params`.
+pub fn random_geometric(params: RggParams) -> Topology {
+    let mut rng = derive_stream(params.seed, StreamKind::Topology, 0);
+    let points = (0..params.n)
+        .map(|_| Point::new(rng.gen::<f64>() * params.side, rng.gen::<f64>() * params.side))
+        .collect();
+    let mut wiring_rng = derive_stream(params.seed, StreamKind::Topology, 1);
+    build_from_embedding(Embedding::new(points), params.r, |_, _, _| {
+        if wiring_rng.gen_bool(params.grey_reliable_p) {
+            GreyKind::Reliable
+        } else if wiring_rng.gen_bool(params.grey_unreliable_p) {
+            GreyKind::Unreliable
+        } else {
+            GreyKind::Absent
+        }
+    })
+}
+
+/// `n` nodes on a line with the given spacing; grey-zone pairs become
+/// unreliable edges.
+pub fn line(n: usize, spacing: f64, r: f64) -> Topology {
+    let points = (0..n)
+        .map(|i| Point::new(i as f64 * spacing, 0.0))
+        .collect();
+    build_from_embedding(Embedding::new(points), r, |_, _, _| GreyKind::Unreliable)
+}
+
+/// A `rows × cols` grid with the given spacing; grey-zone pairs become
+/// unreliable edges.
+pub fn grid(rows: usize, cols: usize, spacing: f64, r: f64) -> Topology {
+    let mut points = Vec::with_capacity(rows * cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            points.push(Point::new(j as f64 * spacing, i as f64 * spacing));
+        }
+    }
+    build_from_embedding(Embedding::new(points), r, |_, _, _| GreyKind::Unreliable)
+}
+
+/// `n` nodes packed in a disc of diameter ≤ 1: a reliable clique. This is
+/// the worst case for acknowledgment (a receiver neighboring `Δ − 1`
+/// broadcasters, the `t_ack ≥ Δ` argument of Section 1).
+pub fn clique(n: usize, r: f64) -> Topology {
+    // Place nodes on a circle of radius 0.49 so every pairwise distance is
+    // < 1.
+    let points = (0..n)
+        .map(|i| {
+            let angle = 2.0 * std::f64::consts::PI * (i as f64) / (n.max(1) as f64);
+            Point::new(0.49 * angle.cos(), 0.49 * angle.sin())
+        })
+        .collect();
+    build_from_embedding(Embedding::new(points), r, |_, _, _| GreyKind::Unreliable)
+}
+
+/// The grey-zone sandwich used by baseline-thwarting experiments (E7):
+/// a receiver at the origin, `reliable_senders` nodes within distance 1
+/// (its `G`-neighbors), and `grey_senders` nodes in the annulus
+/// `(1, r]` connected to the receiver and to each other's range only by
+/// *unreliable* edges.
+///
+/// Under a contention-pumping scheduler the unreliable senders flood the
+/// receiver exactly when a fixed-probability baseline transmits
+/// aggressively.
+pub fn grey_sandwich(reliable_senders: usize, grey_senders: usize, r: f64) -> Topology {
+    assert!(r > 1.0, "grey sandwich needs r > 1 to host grey senders");
+    let mut points = vec![Point::new(0.0, 0.0)];
+    // Reliable senders: tight arc near the receiver.
+    for i in 0..reliable_senders {
+        let angle = 0.4 * (i as f64) / (reliable_senders.max(1) as f64);
+        points.push(Point::new(0.8 * angle.cos(), 0.8 * angle.sin()));
+    }
+    // Grey senders: ring at radius (1 + r) / 2.
+    let ring = (1.0 + r) / 2.0;
+    for i in 0..grey_senders {
+        let angle = 2.0 * std::f64::consts::PI * (i as f64) / (grey_senders.max(1) as f64);
+        points.push(Point::new(ring * angle.cos(), ring * angle.sin()));
+    }
+    build_from_embedding(Embedding::new(points), r, |_, _, _| GreyKind::Unreliable)
+}
+
+/// Parameters for [`clustered`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterParams {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Nodes per cluster.
+    pub cluster_size: usize,
+    /// Distance between adjacent cluster centers.
+    pub spacing: f64,
+    /// Radius of each cluster (≤ 0.5 keeps clusters internally reliable).
+    pub spread: f64,
+    /// Geographic parameter.
+    pub r: f64,
+    /// Placement seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            clusters: 4,
+            cluster_size: 8,
+            spacing: 1.5,
+            spread: 0.4,
+            r: 2.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Clusters of tightly packed nodes with grey-zone links between adjacent
+/// clusters: internally reliable, externally unreliable.
+pub fn clustered(params: ClusterParams) -> Topology {
+    let mut rng = derive_stream(params.seed, StreamKind::Topology, 2);
+    let mut points = Vec::new();
+    for c in 0..params.clusters {
+        let cx = c as f64 * params.spacing;
+        for _ in 0..params.cluster_size {
+            let dx = (rng.gen::<f64>() - 0.5) * 2.0 * params.spread;
+            let dy = (rng.gen::<f64>() - 0.5) * 2.0 * params.spread;
+            points.push(Point::new(cx + dx, dy));
+        }
+    }
+    build_from_embedding(Embedding::new(points), params.r, |_, _, _| {
+        GreyKind::Unreliable
+    })
+}
+
+/// `n` nodes on a circle of circumference `n · spacing`: a ring network.
+/// With `spacing ≤ 1` adjacent nodes are reliable neighbors; grey-zone
+/// chords become unreliable edges.
+///
+/// # Panics
+///
+/// Panics when `n < 3` (smaller rings degenerate to lines).
+pub fn ring(n: usize, spacing: f64, r: f64) -> Topology {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let radius = (n as f64 * spacing) / (2.0 * std::f64::consts::PI);
+    let points = (0..n)
+        .map(|i| {
+            let a = 2.0 * std::f64::consts::PI * (i as f64) / (n as f64);
+            Point::new(radius * a.cos(), radius * a.sin())
+        })
+        .collect();
+    build_from_embedding(Embedding::new(points), r, |_, _, _| GreyKind::Unreliable)
+}
+
+/// A two-tier deployment: a dense core clique (diameter < 1) surrounded
+/// by `periphery` sparse nodes on a ring at distance `ring_radius ∈
+/// (1, r]` from the center — core↔periphery links are grey-zone
+/// (unreliable). Models an access-point cluster with marginal clients.
+///
+/// # Panics
+///
+/// Panics unless `1 < ring_radius ≤ r`.
+pub fn two_tier(core: usize, periphery: usize, ring_radius: f64, r: f64) -> Topology {
+    assert!(
+        ring_radius > 1.0 && ring_radius <= r,
+        "periphery must sit in the grey zone (1, r]"
+    );
+    let mut points = Vec::with_capacity(core + periphery);
+    for i in 0..core {
+        let a = 2.0 * std::f64::consts::PI * (i as f64) / core.max(1) as f64;
+        points.push(Point::new(0.45 * a.cos(), 0.45 * a.sin()));
+    }
+    for i in 0..periphery {
+        let a = 2.0 * std::f64::consts::PI * (i as f64) / periphery.max(1) as f64;
+        points.push(Point::new(
+            (ring_radius + 0.45) * a.cos(),
+            (ring_radius + 0.45) * a.sin(),
+        ));
+    }
+    build_from_embedding(Embedding::new(points), r, |_, _, _| GreyKind::Unreliable)
+}
+
+/// A constant-density deployment for the locality experiment (E9): `n`
+/// nodes at fixed `density` (expected nodes per unit disc), in a square
+/// whose area grows with `n`. Local quantities (Δ, per-neighborhood
+/// behavior) stay flat as `n` grows.
+pub fn constant_density(n: usize, density: f64, r: f64, seed: u64) -> Topology {
+    let area = n as f64 * std::f64::consts::PI / density;
+    let side = area.sqrt();
+    random_geometric(RggParams {
+        n,
+        side,
+        r,
+        grey_reliable_p: 0.0,
+        grey_unreliable_p: 1.0,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_structure() {
+        let t = line(5, 0.9, 2.0);
+        assert_eq!(t.graph.len(), 5);
+        // Adjacent nodes at 0.9 are reliable; distance-2 nodes at 1.8 <= r
+        // are grey (unreliable).
+        assert!(t
+            .graph
+            .is_reliable_edge(crate::graph::NodeId(0), crate::graph::NodeId(1)));
+        assert!(t.graph.is_any_edge(crate::graph::NodeId(0), crate::graph::NodeId(2)));
+        assert!(!t
+            .graph
+            .is_reliable_edge(crate::graph::NodeId(0), crate::graph::NodeId(2)));
+        t.check_geographic().unwrap();
+    }
+
+    #[test]
+    fn grid_is_geographic() {
+        let t = grid(4, 4, 0.8, 2.0);
+        assert_eq!(t.graph.len(), 16);
+        t.check_geographic().unwrap();
+    }
+
+    #[test]
+    fn clique_is_complete_reliable() {
+        let t = clique(8, 1.0);
+        for u in t.graph.vertices() {
+            assert_eq!(t.graph.reliable_neighbors(u).len(), 7);
+        }
+        assert_eq!(t.graph.delta(), 8);
+        t.check_geographic().unwrap();
+    }
+
+    #[test]
+    fn rgg_is_geographic_and_deterministic() {
+        let params = RggParams {
+            n: 40,
+            side: 3.0,
+            seed: 5,
+            ..Default::default()
+        };
+        let a = random_geometric(params);
+        let b = random_geometric(params);
+        a.check_geographic().unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.embedding, b.embedding);
+    }
+
+    #[test]
+    fn grey_sandwich_wiring() {
+        let t = grey_sandwich(2, 6, 2.0);
+        let receiver = crate::graph::NodeId(0);
+        // Reliable senders connect reliably.
+        assert!(t.graph.is_reliable_edge(receiver, crate::graph::NodeId(1)));
+        // Grey senders connect only unreliably.
+        let grey = crate::graph::NodeId(3);
+        assert!(t.graph.is_any_edge(receiver, grey));
+        assert!(!t.graph.is_reliable_edge(receiver, grey));
+        t.check_geographic().unwrap();
+    }
+
+    #[test]
+    fn clustered_is_geographic() {
+        let t = clustered(ClusterParams::default());
+        assert_eq!(t.graph.len(), 32);
+        t.check_geographic().unwrap();
+    }
+
+    #[test]
+    fn ring_structure() {
+        let t = ring(8, 0.9, 2.0);
+        assert_eq!(t.graph.len(), 8);
+        t.check_geographic().unwrap();
+        // Adjacent ring nodes are reliable neighbors.
+        for i in 0..8 {
+            assert!(t
+                .graph
+                .is_reliable_edge(crate::graph::NodeId(i), crate::graph::NodeId((i + 1) % 8)));
+        }
+    }
+
+    #[test]
+    fn two_tier_wiring() {
+        let t = two_tier(4, 6, 1.5, 2.0);
+        assert_eq!(t.graph.len(), 10);
+        t.check_geographic().unwrap();
+        // Core is a reliable clique.
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(t
+                    .graph
+                    .is_reliable_edge(crate::graph::NodeId(i), crate::graph::NodeId(j)));
+            }
+        }
+        // Core-periphery links, where present, are unreliable only.
+        let core = crate::graph::NodeId(0);
+        for p in 4..10 {
+            let p = crate::graph::NodeId(p);
+            assert!(!t.graph.is_reliable_edge(core, p));
+        }
+        // At least one periphery node reaches the core through the grey
+        // zone.
+        let any_grey = (4..10).any(|p| t.graph.is_any_edge(core, crate::graph::NodeId(p)));
+        assert!(any_grey);
+    }
+
+    #[test]
+    #[should_panic(expected = "grey zone")]
+    fn two_tier_rejects_reliable_radius() {
+        let _ = two_tier(3, 3, 0.9, 2.0);
+    }
+
+    #[test]
+    fn constant_density_keeps_delta_flat() {
+        let d1 = constant_density(100, 6.0, 1.5, 3).graph.delta();
+        let d2 = constant_density(400, 6.0, 1.5, 3).graph.delta();
+        // Degrees fluctuate, but a 4x larger network at equal density must
+        // not have a 4x larger max degree.
+        assert!(
+            (d2 as f64) < (d1 as f64) * 3.0,
+            "delta grew with n: {d1} -> {d2}"
+        );
+    }
+}

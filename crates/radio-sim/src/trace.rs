@@ -1,0 +1,267 @@
+//! Execution traces: the first-class record over which specifications are
+//! checked.
+//!
+//! The paper phrases every guarantee as a property of the *distribution
+//! over executions* induced by a configuration plus an algorithm. We make
+//! the execution itself a value: a [`Trace`] is an ordered list of
+//! [`Event`]s (inputs, transmissions, receptions, outputs), so a
+//! specification like `Seed(δ, ε)` or `LB(t_ack, t_prog, ε)` becomes a
+//! plain function `Trace -> Result<(), Violation>` evaluated per trial, and
+//! probabilistic clauses become Monte-Carlo statistics over many traces.
+
+use crate::graph::NodeId;
+use crate::process::ProcId;
+use serde::{Deserialize, Serialize};
+
+/// One observable event in an execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event<I, O, M> {
+    /// The round in which the event occurred (rounds start at 1).
+    pub round: u64,
+    /// The vertex at which the event occurred.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: EventKind<I, O, M>,
+}
+
+/// Classification of trace events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind<I, O, M> {
+    /// The environment delivered an input to this node.
+    Input(I),
+    /// The node transmitted this round (message recorded when reception
+    /// logging is enabled; the marker itself is always cheap).
+    Transmit,
+    /// The node, while listening, received message `msg` from `from`.
+    Receive {
+        /// The transmitting vertex.
+        from: NodeId,
+        /// The received message.
+        msg: M,
+    },
+    /// The node emitted an output consumed by the environment.
+    Output(O),
+}
+
+/// Aggregate channel activity in one round, recorded when
+/// [`RecordingPolicy::channel_stats`] is set. Collisions are counted at
+/// *listeners*: a listener with ≥ 2 transmitting topology-neighbors
+/// experiences one collision (indistinguishable from silence to the
+/// node — this is the simulator's outside view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Nodes that transmitted this round.
+    pub transmitters: usize,
+    /// Listeners that received a message.
+    pub deliveries: usize,
+    /// Listeners with two or more transmitting topology-neighbors.
+    pub collisions: usize,
+    /// Listeners with no transmitting topology-neighbor.
+    pub silent: usize,
+}
+
+/// What the engine records. Spec checking needs inputs and outputs;
+/// instrumentation (e.g. per-round reception probabilities for Lemma 4.2)
+/// additionally needs transmissions and receptions, which cost memory on
+/// long runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordingPolicy {
+    /// Record `Transmit` markers.
+    pub transmissions: bool,
+    /// Record `Receive` events (includes a clone of each message).
+    pub receptions: bool,
+    /// Record per-round aggregate [`RoundStats`].
+    pub channel_stats: bool,
+}
+
+impl RecordingPolicy {
+    /// Inputs and outputs only — sufficient for all spec predicates.
+    pub fn outputs_only() -> Self {
+        RecordingPolicy {
+            transmissions: false,
+            receptions: false,
+            channel_stats: false,
+        }
+    }
+
+    /// Everything, for instrumented experiments.
+    pub fn full() -> Self {
+        RecordingPolicy {
+            transmissions: true,
+            receptions: true,
+            channel_stats: true,
+        }
+    }
+
+    /// Aggregate channel statistics only (cheap; no per-event records
+    /// beyond inputs/outputs).
+    pub fn stats_only() -> Self {
+        RecordingPolicy {
+            transmissions: false,
+            receptions: false,
+            channel_stats: true,
+        }
+    }
+}
+
+impl Default for RecordingPolicy {
+    fn default() -> Self {
+        RecordingPolicy::outputs_only()
+    }
+}
+
+/// A complete execution record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace<I, O, M> {
+    /// Number of vertices in the configuration.
+    pub n: usize,
+    /// The id assignment used: `proc_ids[v]` is the process id at vertex
+    /// `v`.
+    pub proc_ids: Vec<ProcId>,
+    /// Rounds executed so far.
+    pub rounds: u64,
+    /// Events in (round, generation) order.
+    pub events: Vec<Event<I, O, M>>,
+    /// Per-round aggregate channel statistics (`stats[t - 1]` for round
+    /// `t`), populated only under a channel-stats recording policy.
+    pub round_stats: Vec<RoundStats>,
+}
+
+impl<I, O, M> Trace<I, O, M> {
+    /// Creates an empty trace for `n` vertices with the given id
+    /// assignment.
+    pub fn new(n: usize, proc_ids: Vec<ProcId>) -> Self {
+        Trace {
+            n,
+            proc_ids,
+            rounds: 0,
+            events: Vec::new(),
+            round_stats: Vec::new(),
+        }
+    }
+
+    /// Sums the per-round channel statistics (empty stats give zeroes).
+    pub fn total_stats(&self) -> RoundStats {
+        let mut out = RoundStats::default();
+        for s in &self.round_stats {
+            out.transmitters += s.transmitters;
+            out.deliveries += s.deliveries;
+            out.collisions += s.collisions;
+            out.silent += s.silent;
+        }
+        out
+    }
+
+    /// All output events, as `(round, node, output)` triples.
+    pub fn outputs(&self) -> impl Iterator<Item = (u64, NodeId, &O)> {
+        self.events.iter().filter_map(|e| match &e.kind {
+            EventKind::Output(o) => Some((e.round, e.node, o)),
+            _ => None,
+        })
+    }
+
+    /// All input events, as `(round, node, input)` triples.
+    pub fn inputs(&self) -> impl Iterator<Item = (u64, NodeId, &I)> {
+        self.events.iter().filter_map(|e| match &e.kind {
+            EventKind::Input(i) => Some((e.round, e.node, i)),
+            _ => None,
+        })
+    }
+
+    /// All reception events, as `(round, receiver, sender, msg)`.
+    pub fn receptions(&self) -> impl Iterator<Item = (u64, NodeId, NodeId, &M)> {
+        self.events.iter().filter_map(|e| match &e.kind {
+            EventKind::Receive { from, msg } => Some((e.round, e.node, *from, msg)),
+            _ => None,
+        })
+    }
+
+    /// Rounds in which `node` transmitted (requires transmission
+    /// recording).
+    pub fn transmissions_of(&self, node: NodeId) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter(|e| e.node == node && matches!(e.kind, EventKind::Transmit))
+            .map(|e| e.round)
+            .collect()
+    }
+
+    /// The process id assigned to vertex `v`.
+    pub fn proc_id(&self, v: NodeId) -> ProcId {
+        self.proc_ids[v.0]
+    }
+
+    /// The vertex with process id `id`, if any.
+    pub fn vertex_of(&self, id: ProcId) -> Option<NodeId> {
+        self.proc_ids.iter().position(|&p| p == id).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace<u8, char, &'static str> {
+        let mut t = Trace::new(2, vec![10, 11]);
+        t.rounds = 3;
+        t.events = vec![
+            Event {
+                round: 1,
+                node: NodeId(0),
+                kind: EventKind::Input(5),
+            },
+            Event {
+                round: 2,
+                node: NodeId(0),
+                kind: EventKind::Transmit,
+            },
+            Event {
+                round: 2,
+                node: NodeId(1),
+                kind: EventKind::Receive {
+                    from: NodeId(0),
+                    msg: "hello",
+                },
+            },
+            Event {
+                round: 3,
+                node: NodeId(1),
+                kind: EventKind::Output('r'),
+            },
+        ];
+        t
+    }
+
+    #[test]
+    fn iterators_filter_by_kind() {
+        let t = sample_trace();
+        assert_eq!(t.inputs().count(), 1);
+        assert_eq!(t.outputs().count(), 1);
+        assert_eq!(t.receptions().count(), 1);
+        let (round, rx, tx, msg) = t.receptions().next().unwrap();
+        assert_eq!((round, rx, tx, *msg), (2, NodeId(1), NodeId(0), "hello"));
+    }
+
+    #[test]
+    fn transmissions_of_filters_by_node() {
+        let t = sample_trace();
+        assert_eq!(t.transmissions_of(NodeId(0)), vec![2]);
+        assert!(t.transmissions_of(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn id_mapping_round_trips() {
+        let t = sample_trace();
+        assert_eq!(t.proc_id(NodeId(1)), 11);
+        assert_eq!(t.vertex_of(11), Some(NodeId(1)));
+        assert_eq!(t.vertex_of(99), None);
+    }
+
+    #[test]
+    fn recording_policy_defaults_to_outputs_only() {
+        let p = RecordingPolicy::default();
+        assert!(!p.transmissions);
+        assert!(!p.receptions);
+        assert!(RecordingPolicy::full().receptions);
+    }
+}

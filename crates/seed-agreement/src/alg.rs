@@ -1,0 +1,360 @@
+//! `SeedAlg(ε₁)`: aggressive local leader election with bounded damage.
+//!
+//! The algorithm (Section 3.2) runs `log Δ` phases of
+//! `c₄ log²(1/ε₁)` rounds. An *active* node elects itself leader at the
+//! start of phase `h` with probability `2^{-(log Δ − h + 1)}` — the
+//! geometric ramp `1/Δ, 2/Δ, …, 1/2`. A leader immediately **decides** on
+//! its own `(id, seed)` pair, broadcasts it at probability `1/log(1/ε₁)`
+//! for the rest of the phase, and goes inactive. An active non-leader
+//! listens; on first reception of some `(j, s)` it decides on that pair
+//! and goes inactive. A node still active after the last phase decides on
+//! its own pair by default.
+//!
+//! The `SeedProcess` counts rounds *locally* (not via `ctx.round`) so the
+//! local broadcast layer can embed a fresh instance in each phase
+//! preamble at arbitrary global offsets.
+
+use crate::config::SeedConfig;
+use crate::seed::Seed;
+use crate::spec::Decide;
+use radio_sim::process::{Action, Context, ProcId, Process};
+use rand::Rng;
+
+/// The message leaders broadcast: their id and initial seed.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SeedMsg {
+    /// The seed owner's process id (`j` in `decide(j, s)`).
+    pub owner: ProcId,
+    /// The owner's initial seed.
+    pub seed: Seed,
+}
+
+/// The node's protocol status (Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Still contending: may become a leader or adopt a received seed.
+    Active,
+    /// Elected leader this phase: decided on own seed, broadcasting it.
+    Leader,
+    /// Done: decided (as leader, adopter, or by default).
+    Inactive,
+}
+
+/// Record of one phase, kept for the Appendix B goodness instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseRecord {
+    /// 1-based phase number.
+    pub phase: u32,
+    /// Whether the node was active at the start of the phase.
+    pub active_at_start: bool,
+    /// Whether the node elected itself leader this phase.
+    pub became_leader: bool,
+}
+
+/// The `SeedAlg(ε₁)` process.
+#[derive(Debug)]
+pub struct SeedProcess {
+    cfg: SeedConfig,
+    status: Status,
+    /// Local round counter (1-based after the first transmit call).
+    local_round: u64,
+    phases: u32,
+    phase_len: u64,
+    my_id: ProcId,
+    initial_seed: Option<Seed>,
+    committed: Option<Decide>,
+    outputs: Vec<Decide>,
+    history: Vec<PhaseRecord>,
+    initialized: bool,
+}
+
+impl SeedProcess {
+    /// Creates a process ready to start at its first engine round.
+    pub fn new(cfg: SeedConfig) -> Self {
+        SeedProcess {
+            cfg,
+            status: Status::Active,
+            local_round: 0,
+            phases: 0,
+            phase_len: 0,
+            my_id: 0,
+            initial_seed: None,
+            committed: None,
+            outputs: Vec::new(),
+            history: Vec::new(),
+            initialized: false,
+        }
+    }
+
+    /// The algorithm's total running time for the degree bound it will
+    /// learn from the engine context.
+    pub fn total_rounds(cfg: &SeedConfig, delta: usize) -> u64 {
+        cfg.total_rounds(delta)
+    }
+
+    /// The pair this node has committed to, if it has decided.
+    pub fn committed(&self) -> Option<&Decide> {
+        self.committed.as_ref()
+    }
+
+    /// Whether the protocol has completed all phases.
+    pub fn is_done(&self) -> bool {
+        self.initialized && self.local_round >= u64::from(self.phases) * self.phase_len
+    }
+
+    /// Per-phase activity records, for goodness instrumentation.
+    pub fn history(&self) -> &[PhaseRecord] {
+        &self.history
+    }
+
+    /// This node's initial seed (drawn at its first round).
+    pub fn initial_seed(&self) -> Option<&Seed> {
+        self.initial_seed.as_ref()
+    }
+
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        self.phases = self.cfg.phases(ctx.delta);
+        self.phase_len = self.cfg.phase_len();
+        self.my_id = ctx.id;
+        self.initial_seed = Some(Seed::random(ctx.rng, self.cfg.seed_bits));
+        self.initialized = true;
+    }
+
+    fn decide(&mut self, owner: ProcId, seed: Seed) {
+        debug_assert!(self.committed.is_none(), "decide must fire exactly once");
+        let d = Decide { owner, seed };
+        self.committed = Some(d.clone());
+        self.outputs.push(d);
+    }
+
+    fn decide_own(&mut self) {
+        let seed = self
+            .initial_seed
+            .clone()
+            .expect("initialized before deciding");
+        let id = self.my_id;
+        self.decide(id, seed);
+    }
+
+    /// 1-based phase of the local round, or `None` after completion.
+    fn phase_of(&self, local_round: u64) -> Option<(u32, u64)> {
+        if local_round == 0 || local_round > u64::from(self.phases) * self.phase_len {
+            return None;
+        }
+        let idx = local_round - 1;
+        let phase = (idx / self.phase_len) as u32 + 1;
+        let pos = idx % self.phase_len;
+        Some((phase, pos))
+    }
+}
+
+impl Process for SeedProcess {
+    type Msg = SeedMsg;
+    type Input = ();
+    type Output = Decide;
+
+    fn on_input(&mut self, _input: (), _ctx: &mut Context<'_>) {}
+
+    fn transmit(&mut self, ctx: &mut Context<'_>) -> Action<SeedMsg> {
+        if !self.initialized {
+            self.init(ctx);
+        }
+        self.local_round += 1;
+        let Some((phase, pos)) = self.phase_of(self.local_round) else {
+            return Action::Receive;
+        };
+
+        if pos == 0 {
+            // Start of phase: leader election step.
+            let active = self.status == Status::Active;
+            let mut became_leader = false;
+            if active {
+                let p = self.cfg.leader_prob(phase, self.phases);
+                if ctx.rng.gen_bool(p) {
+                    self.status = Status::Leader;
+                    self.decide_own();
+                    became_leader = true;
+                }
+            }
+            self.history.push(PhaseRecord {
+                phase,
+                active_at_start: active,
+                became_leader,
+            });
+        }
+
+        if self.status == Status::Leader {
+            if ctx.rng.gen_bool(self.cfg.tx_prob()) {
+                let seed = self
+                    .initial_seed
+                    .clone()
+                    .expect("leaders have drawn a seed");
+                return Action::Transmit(SeedMsg {
+                    owner: self.my_id,
+                    seed,
+                });
+            }
+        }
+        Action::Receive
+    }
+
+    fn on_receive(&mut self, msg: Option<SeedMsg>, _ctx: &mut Context<'_>) {
+        let Some((_phase, pos)) = self.phase_of(self.local_round) else {
+            return;
+        };
+        if self.status == Status::Active {
+            if let Some(m) = msg {
+                self.decide(m.owner, m.seed);
+                self.status = Status::Inactive;
+            }
+        }
+        let last_round_of_phase = pos == self.phase_len - 1;
+        if last_round_of_phase && self.status == Status::Leader {
+            self.status = Status::Inactive;
+        }
+        let last_round_overall =
+            self.local_round == u64::from(self.phases) * self.phase_len;
+        if last_round_overall && self.status == Status::Active {
+            // Completed all phases while active: default decision.
+            self.decide_own();
+            self.status = Status::Inactive;
+        }
+    }
+
+    fn take_outputs(&mut self) -> Vec<Decide> {
+        std::mem::take(&mut self.outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_sim::environment::NullEnvironment;
+    use radio_sim::prelude::*;
+    use radio_sim::scheduler::AllExtraEdges;
+
+    fn run_seed_alg(
+        topo: &radio_sim::topology::Topology,
+        cfg: &SeedConfig,
+        master_seed: u64,
+    ) -> crate::SeedTrace {
+        let n = topo.graph.len();
+        let total = cfg.total_rounds(topo.graph.delta());
+        let procs: Vec<SeedProcess> = (0..n).map(|_| SeedProcess::new(cfg.clone())).collect();
+        let mut engine = Engine::new(
+            topo.configuration(Box::new(AllExtraEdges)),
+            procs,
+            Box::new(NullEnvironment),
+            master_seed,
+        );
+        engine.run(total);
+        engine.into_trace()
+    }
+
+    #[test]
+    fn every_node_decides_exactly_once() {
+        let topo = radio_sim::topology::line(8, 0.9, 2.0);
+        let cfg = SeedConfig::practical(0.25, 32);
+        for seed in 0..5 {
+            let trace = run_seed_alg(&topo, &cfg, seed);
+            let mut counts = vec![0usize; 8];
+            for (_, v, _) in trace.outputs() {
+                counts[v.0] += 1;
+            }
+            assert!(counts.iter().all(|&c| c == 1), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn decisions_happen_within_time_bound() {
+        let topo = radio_sim::topology::clique(8, 1.0);
+        let cfg = SeedConfig::practical(0.25, 32);
+        let total = cfg.total_rounds(topo.graph.delta());
+        let trace = run_seed_alg(&topo, &cfg, 3);
+        for (round, _, _) in trace.outputs() {
+            assert!(round <= total);
+        }
+    }
+
+    #[test]
+    fn isolated_node_decides_own_seed() {
+        // A single node can never hear anyone: it must default to itself.
+        let topo = radio_sim::topology::line(1, 1.0, 1.0);
+        let cfg = SeedConfig::practical(0.25, 32);
+        let trace = run_seed_alg(&topo, &cfg, 1);
+        let outs: Vec<_> = trace.outputs().collect();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].2.owner, trace.proc_id(NodeId(0)));
+    }
+
+    #[test]
+    fn committed_matches_output() {
+        let topo = radio_sim::topology::clique(4, 1.0);
+        let cfg = SeedConfig::practical(0.25, 32);
+        let total = cfg.total_rounds(topo.graph.delta());
+        let procs: Vec<SeedProcess> = (0..4).map(|_| SeedProcess::new(cfg.clone())).collect();
+        let mut engine = Engine::new(
+            topo.configuration(Box::new(AllExtraEdges)),
+            procs,
+            Box::new(NullEnvironment),
+            9,
+        );
+        engine.run(total);
+        for (v, p) in engine.processes().iter().enumerate() {
+            assert!(p.is_done());
+            let committed = p.committed().expect("all nodes decided");
+            let in_trace = engine
+                .trace()
+                .outputs()
+                .find(|(_, node, _)| node.0 == v)
+                .map(|(_, _, d)| d.clone())
+                .expect("decide in trace");
+            assert_eq!(*committed, in_trace);
+        }
+    }
+
+    #[test]
+    fn history_covers_phases_until_inactive() {
+        let topo = radio_sim::topology::clique(8, 1.0);
+        let cfg = SeedConfig::practical(0.25, 32);
+        let total = cfg.total_rounds(topo.graph.delta());
+        let procs: Vec<SeedProcess> = (0..8).map(|_| SeedProcess::new(cfg.clone())).collect();
+        let mut engine = Engine::new(
+            topo.configuration(Box::new(AllExtraEdges)),
+            procs,
+            Box::new(NullEnvironment),
+            11,
+        );
+        engine.run(total);
+        let phases = cfg.phases(topo.graph.delta());
+        for p in engine.processes() {
+            assert_eq!(p.history().len() as u32, phases);
+            // Phase numbers are 1..=phases in order.
+            for (i, rec) in p.history().iter().enumerate() {
+                assert_eq!(rec.phase, i as u32 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn leaders_decide_on_their_own_id() {
+        let topo = radio_sim::topology::clique(8, 1.0);
+        let cfg = SeedConfig::practical(0.25, 32);
+        let total = cfg.total_rounds(topo.graph.delta());
+        let procs: Vec<SeedProcess> = (0..8).map(|_| SeedProcess::new(cfg.clone())).collect();
+        let mut engine = Engine::new(
+            topo.configuration(Box::new(AllExtraEdges)),
+            procs,
+            Box::new(NullEnvironment),
+            13,
+        );
+        engine.run(total);
+        for (v, p) in engine.processes().iter().enumerate() {
+            let was_leader = p.history().iter().any(|r| r.became_leader);
+            if was_leader {
+                let d = p.committed().unwrap();
+                assert_eq!(d.owner, engine.trace().proc_id(NodeId(v)));
+            }
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The `Seed(δ, ε)` specification (Section 3.1) as checkable predicates.
+//!
+//! The specification has four conditions over the `decide(j, s)ᵤ` outputs:
+//!
+//! 1. **Well-formedness** — every vertex decides exactly once
+//!    (deterministic: must hold in *every* execution).
+//! 2. **Consistency** — decisions naming the same owner carry the same
+//!    seed (deterministic).
+//! 3. **Agreement** — for each vertex `u`, with probability ≥ 1 − ε at
+//!    most δ distinct owners appear among the decisions in
+//!    `N_{G'}(u) ∪ {u}` (probabilistic, stated *per vertex* — the paper's
+//!    locality move).
+//! 4. **Independence** — conditioned on the owner mapping, the seed
+//!    mapping is distributed as if every owner drew uniformly from `S`
+//!    (probabilistic; guaranteed by construction here, and checkable
+//!    statistically across trials).
+//!
+//! Deterministic conditions return `Result`; probabilistic ones return
+//! counts/indicators that Monte-Carlo harnesses aggregate across trials.
+
+use crate::alg::SeedMsg;
+use crate::seed::Seed;
+use radio_sim::graph::{DualGraph, NodeId};
+use radio_sim::process::ProcId;
+use radio_sim::trace::Trace;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A `decide(owner, seed)` output: the node commits to `seed` proposed by
+/// the node with id `owner`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Decide {
+    /// The seed owner's process id.
+    pub owner: ProcId,
+    /// The committed seed.
+    pub seed: Seed,
+}
+
+/// Violations of the deterministic `Seed` conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeedViolation {
+    /// A vertex never decided.
+    MissingDecision(NodeId),
+    /// A vertex decided more than once.
+    MultipleDecisions {
+        /// The offending vertex.
+        node: NodeId,
+        /// How many decide outputs it generated.
+        count: usize,
+    },
+    /// Two decisions named the same owner with different seeds.
+    InconsistentSeeds {
+        /// The owner appearing with two different seeds.
+        owner: ProcId,
+    },
+}
+
+impl fmt::Display for SeedViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeedViolation::MissingDecision(v) => write!(f, "vertex {v} never decided"),
+            SeedViolation::MultipleDecisions { node, count } => {
+                write!(f, "vertex {node} decided {count} times")
+            }
+            SeedViolation::InconsistentSeeds { owner } => {
+                write!(f, "owner {owner} appears with inconsistent seeds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SeedViolation {}
+
+/// Trace alias used by this module.
+pub type SeedTrace = Trace<(), Decide, SeedMsg>;
+
+/// Collects the (unique) decision of every vertex.
+///
+/// # Errors
+///
+/// Returns a well-formedness violation if any vertex decided zero or
+/// multiple times.
+pub fn decisions(trace: &SeedTrace) -> Result<Vec<Decide>, SeedViolation> {
+    let mut per_vertex: Vec<Option<Decide>> = vec![None; trace.n];
+    for (_, v, d) in trace.outputs() {
+        if per_vertex[v.0].is_some() {
+            return Err(SeedViolation::MultipleDecisions { node: v, count: 2 });
+        }
+        per_vertex[v.0] = Some(d.clone());
+    }
+    per_vertex
+        .into_iter()
+        .enumerate()
+        .map(|(v, d)| d.ok_or(SeedViolation::MissingDecision(NodeId(v))))
+        .collect()
+}
+
+/// Condition 1 (Well-formedness): exactly one `decide` per vertex.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_well_formedness(trace: &SeedTrace) -> Result<(), SeedViolation> {
+    let mut counts = vec![0usize; trace.n];
+    for (_, v, _) in trace.outputs() {
+        counts[v.0] += 1;
+    }
+    for (v, &c) in counts.iter().enumerate() {
+        match c {
+            1 => {}
+            0 => return Err(SeedViolation::MissingDecision(NodeId(v))),
+            _ => {
+                return Err(SeedViolation::MultipleDecisions {
+                    node: NodeId(v),
+                    count: c,
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Condition 2 (Consistency): equal owners imply equal seeds.
+///
+/// # Errors
+///
+/// Returns the first owner observed with two distinct seeds.
+pub fn check_consistency(trace: &SeedTrace) -> Result<(), SeedViolation> {
+    let mut seen: BTreeMap<ProcId, &Seed> = BTreeMap::new();
+    for (_, _, d) in trace.outputs() {
+        match seen.get(&d.owner) {
+            Some(s) if **s != d.seed => {
+                return Err(SeedViolation::InconsistentSeeds { owner: d.owner })
+            }
+            Some(_) => {}
+            None => {
+                seen.insert(d.owner, &d.seed);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// For each vertex `u`, the number of distinct owners appearing in
+/// decisions within `N_{G'}(u) ∪ {u}` — the quantity Condition 3 bounds
+/// by δ.
+///
+/// # Errors
+///
+/// Propagates well-formedness violations (a vertex without a decision).
+pub fn owners_per_neighborhood(
+    trace: &SeedTrace,
+    graph: &DualGraph,
+) -> Result<Vec<usize>, SeedViolation> {
+    let decided = decisions(trace)?;
+    let mut out = Vec::with_capacity(trace.n);
+    for u in graph.vertices() {
+        let mut owners: BTreeSet<ProcId> = BTreeSet::new();
+        owners.insert(decided[u.0].owner);
+        for v in graph.all_neighbors(u) {
+            owners.insert(decided[v.0].owner);
+        }
+        out.push(owners.len());
+    }
+    Ok(out)
+}
+
+/// Condition 3 (Agreement) indicator: the number of vertices `u` whose
+/// neighborhood carries more than `delta_bound` distinct owners. A
+/// Monte-Carlo harness divides by trials to estimate the per-vertex error
+/// probability ε.
+///
+/// # Errors
+///
+/// Propagates well-formedness violations.
+pub fn agreement_violations(
+    trace: &SeedTrace,
+    graph: &DualGraph,
+    delta_bound: usize,
+) -> Result<usize, SeedViolation> {
+    Ok(owners_per_neighborhood(trace, graph)?
+        .into_iter()
+        .filter(|&k| k > delta_bound)
+        .count())
+}
+
+/// Condition 4 (Independence) statistical helper: per-bit-position
+/// frequency of ones among the given seeds. For uniform independent
+/// seeds each frequency concentrates around 1/2.
+pub fn bit_balance(seeds: &[&Seed]) -> Vec<f64> {
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let len = seeds.iter().map(|s| s.len()).min().unwrap_or(0);
+    (0..len)
+        .map(|i| {
+            let ones = seeds.iter().filter(|s| s.bit(i)).count();
+            ones as f64 / seeds.len() as f64
+        })
+        .collect()
+}
+
+/// The largest deviation of [`bit_balance`] from 1/2 — a scalar summary
+/// for uniformity assertions.
+pub fn max_bit_bias(seeds: &[&Seed]) -> f64 {
+    bit_balance(seeds)
+        .into_iter()
+        .map(|f| (f - 0.5).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Checks that each decision's seed matches its owner's decision when the
+/// owner decided for itself in this trace — a cross-check tying
+/// Consistency to the algorithm's "adopt the owner's initial seed"
+/// behavior.
+///
+/// # Errors
+///
+/// Propagates well-formedness violations; reports inconsistency as
+/// [`SeedViolation::InconsistentSeeds`].
+pub fn check_owner_seed_fidelity(trace: &SeedTrace) -> Result<(), SeedViolation> {
+    let decided = decisions(trace)?;
+    // Map each owner id to the seed that owner committed for itself.
+    let mut own: BTreeMap<ProcId, &Seed> = BTreeMap::new();
+    for (v, d) in decided.iter().enumerate() {
+        if d.owner == trace.proc_id(NodeId(v)) {
+            own.insert(d.owner, &d.seed);
+        }
+    }
+    for d in &decided {
+        if let Some(owner_seed) = own.get(&d.owner) {
+            if **owner_seed != d.seed {
+                return Err(SeedViolation::InconsistentSeeds { owner: d.owner });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_sim::trace::{Event, EventKind};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn seed_of(word: u64) -> Seed {
+        Seed::from_words(vec![word], 16)
+    }
+
+    fn trace_with(decides: Vec<(usize, Decide)>, n: usize) -> SeedTrace {
+        let mut t = Trace::new(n, (0..n as u64).collect());
+        t.rounds = 10;
+        for (v, d) in decides {
+            t.events.push(Event {
+                round: 1,
+                node: NodeId(v),
+                kind: EventKind::Output(d),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn well_formedness_accepts_one_decide_each() {
+        let t = trace_with(
+            vec![
+                (0, Decide { owner: 0, seed: seed_of(1) }),
+                (1, Decide { owner: 0, seed: seed_of(1) }),
+            ],
+            2,
+        );
+        check_well_formedness(&t).unwrap();
+    }
+
+    #[test]
+    fn well_formedness_rejects_missing() {
+        let t = trace_with(vec![(0, Decide { owner: 0, seed: seed_of(1) })], 2);
+        assert_eq!(
+            check_well_formedness(&t),
+            Err(SeedViolation::MissingDecision(NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn well_formedness_rejects_double() {
+        let t = trace_with(
+            vec![
+                (0, Decide { owner: 0, seed: seed_of(1) }),
+                (0, Decide { owner: 0, seed: seed_of(1) }),
+                (1, Decide { owner: 0, seed: seed_of(1) }),
+            ],
+            2,
+        );
+        assert!(matches!(
+            check_well_formedness(&t),
+            Err(SeedViolation::MultipleDecisions { .. })
+        ));
+    }
+
+    #[test]
+    fn consistency_rejects_owner_with_two_seeds() {
+        let t = trace_with(
+            vec![
+                (0, Decide { owner: 7, seed: seed_of(1) }),
+                (1, Decide { owner: 7, seed: seed_of(2) }),
+            ],
+            2,
+        );
+        assert_eq!(
+            check_consistency(&t),
+            Err(SeedViolation::InconsistentSeeds { owner: 7 })
+        );
+    }
+
+    #[test]
+    fn owners_per_neighborhood_counts_distinct() {
+        // Path 0-1-2; 0 and 1 share owner 9, 2 has owner 2.
+        let g = DualGraph::reliable_only(3, [(0, 1), (1, 2)]).unwrap();
+        let t = trace_with(
+            vec![
+                (0, Decide { owner: 9, seed: seed_of(3) }),
+                (1, Decide { owner: 9, seed: seed_of(3) }),
+                (2, Decide { owner: 2, seed: seed_of(4) }),
+            ],
+            3,
+        );
+        let counts = owners_per_neighborhood(&t, &g).unwrap();
+        assert_eq!(counts, vec![1, 2, 2]);
+        assert_eq!(agreement_violations(&t, &g, 1).unwrap(), 2);
+        assert_eq!(agreement_violations(&t, &g, 2).unwrap(), 0);
+    }
+
+    #[test]
+    fn bit_balance_of_uniform_seeds_is_near_half() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let seeds: Vec<Seed> = (0..2000).map(|_| Seed::random(&mut rng, 32)).collect();
+        let refs: Vec<&Seed> = seeds.iter().collect();
+        assert!(max_bit_bias(&refs) < 0.05);
+    }
+
+    #[test]
+    fn bit_balance_detects_constant_seeds() {
+        let seeds: Vec<Seed> = (0..100).map(|_| seed_of(0)).collect();
+        let refs: Vec<&Seed> = seeds.iter().collect();
+        assert!((max_bit_bias(&refs) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn owner_seed_fidelity_catches_forgery() {
+        // Vertex 0 (id 0) decided own seed A; vertex 1 claims owner 0 with
+        // seed B.
+        let t = trace_with(
+            vec![
+                (0, Decide { owner: 0, seed: seed_of(10) }),
+                (1, Decide { owner: 0, seed: seed_of(11) }),
+            ],
+            2,
+        );
+        assert!(check_owner_seed_fidelity(&t).is_err());
+        let ok = trace_with(
+            vec![
+                (0, Decide { owner: 0, seed: seed_of(10) }),
+                (1, Decide { owner: 0, seed: seed_of(10) }),
+            ],
+            2,
+        );
+        check_owner_seed_fidelity(&ok).unwrap();
+    }
+}

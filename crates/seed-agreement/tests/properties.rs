@@ -1,0 +1,169 @@
+//! Property-based tests for seeds, configuration arithmetic, and the
+//! `Seed(δ, ε)` specification predicates.
+
+use proptest::prelude::*;
+use radio_sim::graph::{DualGraph, NodeId};
+use radio_sim::trace::{Event, EventKind, Trace};
+use seed_agreement::spec::{self, Decide};
+use seed_agreement::{Seed, SeedConfig};
+
+proptest! {
+    #[test]
+    fn cursor_reassembles_the_bit_string(
+        words in proptest::collection::vec(any::<u64>(), 1..4),
+        chunks in proptest::collection::vec(1usize..17, 1..8),
+    ) {
+        let len = words.len() * 64;
+        let seed = Seed::from_words(words, len);
+        let mut cursor = seed.cursor();
+        let mut pos = 0usize;
+        for k in chunks {
+            if cursor.remaining() < k {
+                break;
+            }
+            let got = cursor.take_bits(k);
+            for j in 0..k {
+                let expect = u64::from(seed.bit(pos + j));
+                prop_assert_eq!((got >> j) & 1, expect);
+            }
+            pos += k;
+        }
+    }
+
+    #[test]
+    fn all_zero_equals_take_bits_zero_check(
+        word in any::<u64>(),
+        k in 1usize..16,
+    ) {
+        let seed = Seed::from_words(vec![word, word], 128);
+        let mut c1 = seed.cursor();
+        let mut c2 = seed.cursor();
+        prop_assert_eq!(c1.all_zero(k), c2.take_bits(k) == 0);
+    }
+
+    #[test]
+    fn config_phase_len_is_monotone_in_inverse_epsilon(
+        e1 in 0.001f64..0.25,
+        e2 in 0.001f64..0.25,
+    ) {
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        let cfg_tight = SeedConfig::practical(lo, 32);
+        let cfg_loose = SeedConfig::practical(hi, 32);
+        prop_assert!(cfg_tight.phase_len() >= cfg_loose.phase_len());
+    }
+
+    #[test]
+    fn config_phases_grow_with_delta(d1 in 1usize..500, d2 in 1usize..500) {
+        let cfg = SeedConfig::practical(0.125, 32);
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(cfg.phases(lo) <= cfg.phases(hi));
+        prop_assert_eq!(cfg.total_rounds(lo), u64::from(cfg.phases(lo)) * cfg.phase_len());
+    }
+
+    #[test]
+    fn leader_probs_are_geometric_and_capped(delta in 2usize..1024) {
+        let cfg = SeedConfig::practical(0.25, 32);
+        let phases = cfg.phases(delta);
+        let mut prev = 0.0;
+        for h in 1..=phases {
+            let p = cfg.leader_prob(h, phases);
+            prop_assert!(p > prev);
+            prop_assert!(p <= 0.5 + 1e-12);
+            if h > 1 {
+                prop_assert!((p / prev - 2.0).abs() < 1e-9);
+            }
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn wellformed_synthetic_traces_pass_spec(
+        n in 1usize..12,
+        owner_choice in proptest::collection::vec(0usize..12, 1..12),
+        seed_word in any::<u64>(),
+    ) {
+        // Build a trace where node v decides on owner owner_choice[v] % n
+        // and all decisions for the same owner share one seed.
+        let mut trace: Trace<(), Decide, seed_agreement::SeedMsg> =
+            Trace::new(n, (0..n as u64).collect());
+        trace.rounds = 5;
+        for v in 0..n {
+            let owner = (owner_choice[v % owner_choice.len()] % n) as u64;
+            let seed = Seed::from_words(vec![seed_word ^ owner], 32);
+            trace.events.push(Event {
+                round: 1,
+                node: NodeId(v),
+                kind: EventKind::Output(Decide { owner, seed }),
+            });
+        }
+        prop_assert!(spec::check_well_formedness(&trace).is_ok());
+        prop_assert!(spec::check_consistency(&trace).is_ok());
+        // Owner counts are between 1 and n.
+        let g = DualGraph::reliable_only(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1))).unwrap();
+        let counts = spec::owners_per_neighborhood(&trace, &g).unwrap();
+        for c in counts {
+            prop_assert!(c >= 1 && c <= n);
+        }
+    }
+
+    #[test]
+    fn corrupted_traces_fail_consistency(
+        n in 2usize..10,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        prop_assume!(seed_a != seed_b);
+        // Two nodes claim the same owner with different seeds.
+        let mut trace: Trace<(), Decide, seed_agreement::SeedMsg> =
+            Trace::new(n, (0..n as u64).collect());
+        trace.rounds = 5;
+        for v in 0..n {
+            let seed_word = if v == 0 { seed_a } else { seed_b };
+            trace.events.push(Event {
+                round: 1,
+                node: NodeId(v),
+                kind: EventKind::Output(Decide {
+                    owner: 0,
+                    seed: Seed::from_words(vec![seed_word], 32),
+                }),
+            });
+        }
+        prop_assert!(spec::check_consistency(&trace).is_err());
+    }
+
+    #[test]
+    fn missing_decisions_fail_well_formedness(n in 2usize..10, skip in 0usize..10) {
+        let skip = skip % n;
+        let mut trace: Trace<(), Decide, seed_agreement::SeedMsg> =
+            Trace::new(n, (0..n as u64).collect());
+        trace.rounds = 5;
+        for v in 0..n {
+            if v == skip {
+                continue;
+            }
+            trace.events.push(Event {
+                round: 1,
+                node: NodeId(v),
+                kind: EventKind::Output(Decide {
+                    owner: v as u64,
+                    seed: Seed::from_words(vec![1], 32),
+                }),
+            });
+        }
+        prop_assert_eq!(
+            spec::check_well_formedness(&trace),
+            Err(spec::SeedViolation::MissingDecision(NodeId(skip)))
+        );
+    }
+
+    #[test]
+    fn delta_bound_monotone_in_r_and_epsilon(
+        r1 in 1.0f64..4.0,
+        r2 in 1.0f64..4.0,
+        eps in 0.001f64..0.25,
+    ) {
+        let cfg = SeedConfig::practical(eps, 32);
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(cfg.delta_bound(lo, 1.0) <= cfg.delta_bound(hi, 1.0));
+    }
+}

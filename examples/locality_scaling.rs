@@ -1,0 +1,60 @@
+//! True locality, demonstrated: grow a constant-density network 16× and
+//! watch every guarantee-relevant quantity stay flat — the paper's
+//! Section 1 argument that time complexity and error bounds should
+//! depend on local parameters, never on n.
+//!
+//! ```text
+//! cargo run --release --example locality_scaling
+//! ```
+
+use dual_graph_broadcast::local_broadcast::config::LbConfig;
+use dual_graph_broadcast::radio_sim::prelude::*;
+use dual_graph_broadcast::seed_agreement::{alg::SeedProcess, spec, SeedConfig};
+use radio_sim::environment::NullEnvironment;
+
+fn main() {
+    let density = 8.0;
+    let r = 1.5;
+    let seed_cfg = SeedConfig::practical(0.125, 64);
+    let lb_cfg = LbConfig::practical(0.25);
+
+    println!("constant density {density} nodes per unit disc, r = {r}\n");
+    println!(
+        "{:>6}  {:>4}  {:>12}  {:>10}  {:>8}  {:>8}",
+        "n", "Δ", "seed rounds", "max δ obs", "t_prog", "t_ack"
+    );
+
+    for n in [64usize, 256, 1024] {
+        let topo = topology::constant_density(n, density, r, 97);
+        let delta = topo.graph.delta();
+        let params = lb_cfg.resolve(topo.r, delta, topo.graph.delta_prime());
+
+        // One seed agreement run; measure the realized δ.
+        let procs: Vec<SeedProcess> = (0..n).map(|_| SeedProcess::new(seed_cfg.clone())).collect();
+        let mut engine = Engine::new(
+            topo.configuration(Box::new(scheduler::BernoulliEdges::new(0.5, 7))),
+            procs,
+            Box::new(NullEnvironment),
+            7,
+        );
+        engine.run(seed_cfg.total_rounds(delta));
+        let max_delta = spec::owners_per_neighborhood(engine.trace(), &topo.graph)
+            .expect("well-formed")
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+
+        println!(
+            "{:>6}  {:>4}  {:>12}  {:>10}  {:>8}  {:>8}",
+            n,
+            delta,
+            seed_cfg.total_rounds(delta),
+            max_delta,
+            params.phase_len(),
+            params.t_ack_rounds()
+        );
+    }
+
+    println!("\nEvery column except n is flat (up to degree fluctuations):");
+    println!("the service never pays for nodes it cannot hear.");
+}

@@ -1,0 +1,183 @@
+//! Cross-crate integration: run the complete stack (engine → SeedAlg →
+//! LBAlg) on assorted configurations and check every deterministic
+//! specification condition on every execution, plus Monte-Carlo sanity
+//! for the probabilistic ones.
+
+use dual_graph_broadcast::local_broadcast::config::LbConfig;
+use dual_graph_broadcast::local_broadcast::service::{build_engine, QueueWorkload};
+use dual_graph_broadcast::local_broadcast::spec as lb_spec;
+use dual_graph_broadcast::radio_sim::prelude::*;
+use dual_graph_broadcast::seed_agreement::{alg::SeedProcess, spec as seed_spec, SeedConfig};
+use radio_sim::environment::NullEnvironment;
+use radio_sim::trace::RecordingPolicy;
+
+fn topologies() -> Vec<(&'static str, radio_sim::topology::Topology)> {
+    vec![
+        ("line-6", topology::line(6, 0.9, 2.0)),
+        ("grid-3x3", topology::grid(3, 3, 0.9, 2.0)),
+        ("clique-6", topology::clique(6, 1.0)),
+        (
+            "rgg-30",
+            topology::random_geometric(topology::RggParams {
+                n: 30,
+                side: 3.0,
+                r: 2.0,
+                grey_reliable_p: 0.1,
+                grey_unreliable_p: 0.8,
+                seed: 5,
+            }),
+        ),
+        ("sandwich", topology::grey_sandwich(2, 8, 2.0)),
+        ("clusters", topology::clustered(topology::ClusterParams::default())),
+        ("ring-8", topology::ring(8, 0.9, 2.0)),
+        ("two-tier", topology::two_tier(4, 6, 1.5, 2.0)),
+    ]
+}
+
+#[test]
+fn all_generated_topologies_are_geographic() {
+    for (name, topo) in topologies() {
+        topo.check_geographic()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        // Lemma A.3 as a structural sanity check.
+        let part = RegionPartition::new(topo.r);
+        assert!(
+            (topo.graph.delta_prime() as f64) <= part.cr() * topo.graph.delta() as f64,
+            "{name}: Δ' exceeds c_r Δ"
+        );
+    }
+}
+
+#[test]
+fn seed_alg_meets_deterministic_spec_everywhere() {
+    let cfg = SeedConfig::practical(0.125, 64);
+    for (name, topo) in topologies() {
+        for (si, _) in scheduler::oblivious_family(0).iter().enumerate() {
+            for trial in 0..3u64 {
+                let sched = scheduler::oblivious_family(trial).remove(si);
+                let n = topo.graph.len();
+                let procs: Vec<SeedProcess> =
+                    (0..n).map(|_| SeedProcess::new(cfg.clone())).collect();
+                let mut engine = Engine::new(
+                    topo.configuration(sched),
+                    procs,
+                    Box::new(NullEnvironment),
+                    trial * 31 + si as u64,
+                );
+                engine.run(cfg.total_rounds(topo.graph.delta()));
+                let trace = engine.trace();
+                seed_spec::check_well_formedness(trace)
+                    .unwrap_or_else(|e| panic!("{name}/{si}/{trial}: {e}"));
+                seed_spec::check_consistency(trace)
+                    .unwrap_or_else(|e| panic!("{name}/{si}/{trial}: {e}"));
+                seed_spec::check_owner_seed_fidelity(trace)
+                    .unwrap_or_else(|e| panic!("{name}/{si}/{trial}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn lbalg_meets_deterministic_spec_everywhere() {
+    let cfg = LbConfig::fast(0.25);
+    for (name, topo) in topologies() {
+        let n = topo.graph.len();
+        let params = cfg.resolve(topo.r, topo.graph.delta(), topo.graph.delta_prime());
+        // A sender with at least one reliable neighbor, if any exists.
+        let Some(sender) = topo
+            .graph
+            .vertices()
+            .find(|v| !topo.graph.reliable_neighbors(*v).is_empty())
+        else {
+            continue;
+        };
+        for trial in 0..3u64 {
+            let env = QueueWorkload::uniform(n, &[sender], 2);
+            let mut engine = build_engine(
+                &topo,
+                Box::new(scheduler::BernoulliEdges::new(0.5, trial)),
+                &cfg,
+                Box::new(env),
+                trial,
+                RecordingPolicy::full(),
+            );
+            engine.run(params.t_ack_rounds() * 2 + params.phase_len() * 2);
+            let trace = engine.into_trace();
+            lb_spec::check_timely_ack(&trace, params.t_ack_rounds())
+                .unwrap_or_else(|e| panic!("{name}/{trial}: {e}"));
+            lb_spec::check_validity(&trace, &topo.graph)
+                .unwrap_or_else(|e| panic!("{name}/{trial}: {e}"));
+            // Progress/reliability predicates must at least evaluate.
+            let _ = lb_spec::reliability_outcomes(&trace, &topo.graph)
+                .unwrap_or_else(|e| panic!("{name}/{trial}: {e}"));
+            let _ = lb_spec::progress_outcomes(&trace, &topo.graph, params.phase_len())
+                .unwrap_or_else(|e| panic!("{name}/{trial}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn lbalg_reliability_holds_with_margin_on_clique() {
+    // 10 trials on a small clique with all links up: reliability should
+    // be well above the 1 − ε₁ = 3/4 target.
+    let topo = topology::clique(5, 1.0);
+    let cfg = LbConfig::practical(0.25);
+    let mut ok = 0;
+    for trial in 0..10u64 {
+        let out = dual_graph_broadcast::local_broadcast::service::run_single_broadcast(
+            &topo,
+            Box::new(scheduler::AllExtraEdges),
+            &cfg,
+            NodeId(0),
+            trial,
+        );
+        if out.reliable(&topo, NodeId(0)) {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 8, "reliability {ok}/10 below expectation");
+}
+
+#[test]
+fn executions_replay_identically_across_the_stack() {
+    let topo = topology::grid(3, 3, 0.9, 2.0);
+    let cfg = LbConfig::fast(0.25);
+    let params = cfg.resolve(topo.r, topo.graph.delta(), topo.graph.delta_prime());
+    let run = || {
+        let env = QueueWorkload::uniform(9, &[NodeId(4)], 1);
+        let mut engine = build_engine(
+            &topo,
+            Box::new(scheduler::BernoulliEdges::new(0.5, 3)),
+            &cfg,
+            Box::new(env),
+            99,
+            RecordingPolicy::full(),
+        );
+        engine.run(params.t_ack_rounds() + params.phase_len());
+        engine.into_trace()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.events.len(), b.events.len());
+    assert_eq!(a.events, b.events);
+}
+
+#[test]
+fn different_master_seeds_give_different_executions() {
+    let topo = topology::clique(5, 1.0);
+    let cfg = SeedConfig::practical(0.25, 64);
+    let run = |seed: u64| {
+        let procs: Vec<SeedProcess> = (0..5).map(|_| SeedProcess::new(cfg.clone())).collect();
+        let mut engine = Engine::new(
+            topo.configuration(Box::new(scheduler::AllExtraEdges)),
+            procs,
+            Box::new(NullEnvironment),
+            seed,
+        );
+        engine.run(cfg.total_rounds(topo.graph.delta()));
+        engine.into_trace()
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(a.events, b.events, "seeds must matter");
+}
