@@ -98,8 +98,8 @@ pub fn flood_broadcast(
     let mut completed_at = None;
     while mac.round() < max_rounds {
         // Issue queued relays (the MAC layer serializes per node).
-        for v in 0..n {
-            while let Some(m) = relay[v].pop_front() {
+        for (v, queue) in relay.iter_mut().enumerate() {
+            while let Some(m) = queue.pop_front() {
                 mac.bcast(NodeId(v), m.encode());
             }
         }
@@ -158,8 +158,8 @@ pub fn elect_leader(mac: &mut dyn AbstractMac, hops: u32) -> Vec<ProcId> {
     let n = mac.len();
     let mut best: Vec<ProcId> = (0..n).map(|v| mac.proc_id(NodeId(v))).collect();
     for _ in 0..hops {
-        for v in 0..n {
-            mac.bcast(NodeId(v), Bytes::from(best[v].to_le_bytes().to_vec()));
+        for (v, b) in best.iter().enumerate() {
+            mac.bcast(NodeId(v), Bytes::from(b.to_le_bytes().to_vec()));
         }
         for (v, ev) in mac.run_collect(mac.f_ack()) {
             if let MacEvent::Recv { body, .. } = ev {

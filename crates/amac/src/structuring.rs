@@ -134,10 +134,10 @@ pub fn build_mis(mac: &mut dyn AbstractMac, max_generations: u32) -> MisOutcome 
         }
         generations += 1;
         // Everyone announces id + state.
-        for v in 0..n {
+        for (v, &state) in states.iter().enumerate() {
             let a = Announce {
                 id: mac.proc_id(NodeId(v)),
-                state: states[v],
+                state,
             };
             mac.bcast(NodeId(v), a.encode());
         }
@@ -152,20 +152,20 @@ pub fn build_mis(mac: &mut dyn AbstractMac, max_generations: u32) -> MisOutcome 
         }
         // Resolve: covered if an MIS neighbor announced; join if local
         // max id among heard undecided announcements.
-        for v in 0..n {
-            if states[v] != MisState::Undecided {
+        for (v, state) in states.iter_mut().enumerate() {
+            if *state != MisState::Undecided {
                 continue;
             }
             let my_id = mac.proc_id(NodeId(v));
             let neighbors = heard.get(&NodeId(v)).map(Vec::as_slice).unwrap_or(&[]);
             if neighbors.iter().any(|a| a.state == MisState::InMis) {
-                states[v] = MisState::Covered;
+                *state = MisState::Covered;
             } else if neighbors
                 .iter()
                 .filter(|a| a.state == MisState::Undecided)
                 .all(|a| a.id < my_id)
             {
-                states[v] = MisState::InMis;
+                *state = MisState::InMis;
             }
         }
     }

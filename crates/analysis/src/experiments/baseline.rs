@@ -229,7 +229,8 @@ pub fn e8_adaptive_separation(scale: Scale) -> Vec<Table> {
         vec!["scheduler", "kind", "mean latency", "p95", "censored at horizon"],
     );
 
-    let oblivious: Vec<(&str, fn() -> Box<dyn LinkScheduler>)> = vec![
+    type SchedulerCase = (&'static str, fn() -> Box<dyn LinkScheduler>);
+    let oblivious: Vec<SchedulerCase> = vec![
         ("all-edges", || Box::new(scheduler::AllExtraEdges)),
         ("no-edges", || Box::new(scheduler::NoExtraEdges)),
         ("bernoulli-0.5", || Box::new(scheduler::BernoulliEdges::new(0.5, 77))),

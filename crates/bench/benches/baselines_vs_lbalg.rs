@@ -37,7 +37,8 @@ fn bench_decay_under_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline/decay_256_rounds");
     let topo = topology::grey_sandwich(2, 16, 2.0);
     let senders = 18;
-    let cases: Vec<(&str, fn() -> Box<dyn LinkScheduler>)> = vec![
+    type SchedulerCase = (&'static str, fn() -> Box<dyn LinkScheduler>);
+    let cases: Vec<SchedulerCase> = vec![
         ("pump", || {
             Box::new(MaskedPump::against_decay_with_threshold(5, 0.2))
         }),

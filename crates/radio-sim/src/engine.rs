@@ -204,7 +204,7 @@ impl<P: Process> Engine<P> {
         // Step 2: transmit decisions.
         let mut transmitting = vec![false; n];
         let mut messages: Vec<Option<P::Msg>> = Vec::with_capacity(n);
-        for v in 0..n {
+        for (v, proc) in self.procs.iter_mut().enumerate() {
             let ctx = &mut Context {
                 round,
                 id: self.trace.proc_ids[v],
@@ -213,7 +213,7 @@ impl<P: Process> Engine<P> {
                 r: self.r,
                 rng: &mut self.rngs[v],
             };
-            match self.procs[v].transmit(ctx) {
+            match proc.transmit(ctx) {
                 Action::Transmit(m) => {
                     transmitting[v] = true;
                     messages.push(Some(m));
@@ -238,8 +238,8 @@ impl<P: Process> Engine<P> {
 
         let mut tx_neighbors = vec![0usize; n];
         let mut last_sender = vec![NodeId(0); n];
-        for v in 0..n {
-            if !transmitting[v] {
+        for (v, &tx) in transmitting.iter().enumerate() {
+            if !tx {
                 continue;
             }
             for &u in self.graph.reliable_neighbors(NodeId(v)) {

@@ -343,7 +343,7 @@ impl LinkScheduler for StripedEdges {
             .extra_edges()
             .iter()
             .enumerate()
-            .filter(|(j, _)| (round + *j as u64) % self.k == 0)
+            .filter(|(j, _)| (round + *j as u64).is_multiple_of(self.k))
             .map(|(_, e)| *e)
             .collect();
         EdgeSelection::Subset(subset)

@@ -139,14 +139,14 @@ proptest! {
             let transmitting: Vec<Option<u64>> =
                 (0..n).map(|v| pattern_for(v)[t as usize - 1]).collect();
             let expected = reference_receptions(&graph, &selection, &transmitting);
-            for u in 0..n {
+            for (u, exp) in expected.iter().enumerate() {
                 let engine_recv = trace
                     .receptions()
                     .find(|(round, rx, _, _)| *round == t && rx.0 == u)
                     .map(|(_, _, from, msg)| (from, *msg));
                 prop_assert_eq!(
                     engine_recv,
-                    expected[u],
+                    *exp,
                     "round {} node {}: engine vs reference mismatch",
                     t,
                     u

@@ -183,8 +183,8 @@ impl Process for SeedProcess {
             });
         }
 
-        if self.status == Status::Leader {
-            if ctx.rng.gen_bool(self.cfg.tx_prob()) {
+        if self.status == Status::Leader
+            && ctx.rng.gen_bool(self.cfg.tx_prob()) {
                 let seed = self
                     .initial_seed
                     .clone()
@@ -194,7 +194,6 @@ impl Process for SeedProcess {
                     seed,
                 });
             }
-        }
         Action::Receive
     }
 

@@ -1,0 +1,528 @@
+//! Vendored subset of `proptest`.
+//!
+//! Implements the pieces this workspace's property tests use — the
+//! `proptest!` macro, range/`any`/tuple strategies,
+//! `proptest::collection::vec`, `ProptestConfig::with_cases`, and the
+//! `prop_assert*`/`prop_assume!` macros — over a deterministic
+//! SplitMix64-seeded generator. Failing cases report the generated
+//! inputs; there is no shrinking.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps simulator-heavy properties
+        // fast while still exploring the space. Tests needing more pass
+        // an explicit `ProptestConfig::with_cases`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of one generated case (used by the `prop_assert*` macros).
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The inputs did not satisfy a `prop_assume!`; draw fresh ones.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// The deterministic generator strategies draw from (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The RNG for case number `case` of a run. Fixed derivation makes
+    /// every `cargo test` run identical. The case number is mixed
+    /// through a SplitMix64 finalizer first so consecutive cases start
+    /// from well-separated states rather than overlapping windows of
+    /// one stream.
+    pub fn for_case(case: u64) -> Self {
+        let mut z = case.wrapping_add(0x2545f4914f6cdd1d).wrapping_mul(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        TestRng { state: z ^ (z >> 31) }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform usize in [0, n).
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+}
+
+/// A generator of values of an associated type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Filters generated values; rejected draws are retried (up to a
+    /// bound) rather than failing the case.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            strategy: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    strategy: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.strategy.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 consecutive draws", self.whence)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy for "any value of this type" ([`any`]).
+pub struct Any<T> {
+    #[doc(hidden)]
+    pub _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// The strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Types with a full-domain generator (the shim's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite floats over a wide range, sign-balanced.
+        let mag = rng.next_f64() * 1e12;
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (((rng.next_u64() as u128) * span) >> 64) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// A strategy always yielding clones of one value (`Just`).
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specification for [`vec`]: a fixed length or a range.
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `element` and a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max - self.size.min;
+            let len = self.size.min + if span > 1 { rng.below(span) } else { 0 };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    /// Generates both booleans uniformly.
+    pub const ANY: crate::Any<::core::primitive::bool> = crate::Any {
+        _marker: std::marker::PhantomData,
+    };
+}
+
+/// Everything a property test module usually imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Defines property test functions; see the crate docs for the
+/// supported grammar (a faithful subset of real proptest's).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn` in a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __cases_run: u32 = 0;
+            let mut __attempt: u64 = 0;
+            while __cases_run < __config.cases {
+                __attempt += 1;
+                if __attempt > (__config.cases as u64) * 32 {
+                    panic!(
+                        "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                        stringify!($name), __cases_run, __config.cases
+                    );
+                }
+                let mut __rng = $crate::TestRng::for_case(__attempt);
+                let __values = ( $( $crate::Strategy::generate(&($strat), &mut __rng), )+ );
+                let __inputs_desc = format!("{:?}", &__values);
+                let ( $($pat,)+ ) = __values;
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    Ok(()) => __cases_run += 1,
+                    Err($crate::TestCaseError::Reject) => {}
+                    Err($crate::TestCaseError::Fail(__msg)) => panic!(
+                        "proptest {} failed at case {}:\n  {}\n  inputs: {}",
+                        stringify!($name), __cases_run, __msg, __inputs_desc
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts within a proptest body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n    left: {:?}\n   right: {:?}",
+                stringify!($left), stringify!($right), __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n    left: {:?}\n   right: {:?}",
+                format!($($fmt)+), __l, __r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l != __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {}\n    both: {:?}",
+                stringify!($left), stringify!($right), __l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l != __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n    both: {:?}",
+                format!($($fmt)+), __l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2.5f64..2.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            v in collection::vec(any::<u64>(), 2..5),
+            w in collection::vec(any::<bool>(), 7),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert_eq!(w.len(), 7);
+        }
+
+        #[test]
+        fn tuples_and_assume_work((a, b) in (0usize..100, 0usize..100)) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn explicit_config_accepted(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_case(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let mut r = TestRng::for_case(1);
+        let b: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,289 @@
+//! Deserialization half of the mini data model.
+
+use crate::value::{Number, Value};
+use std::fmt::Display;
+
+/// Errors produced by deserializers.
+pub trait Error: Sized + Display {
+    /// Builds an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can hand out Rust values.
+///
+/// The lifetime parameter exists for signature compatibility with real
+/// serde (`D: Deserializer<'de>` bounds in handwritten helpers); this
+/// mini implementation is always owning.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Yields the input as a data-model tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A value constructible from the data model.
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A `Deserialize` usable with any lifetime (the mini model never
+/// borrows from its input).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+fn unexpected<E: Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, got {}", got.kind()))
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(unexpected("bool", &other)),
+        }
+    }
+}
+
+fn as_u64<E: Error>(v: &Value) -> Result<u64, E> {
+    match v {
+        Value::Number(Number::U64(n)) => Ok(*n),
+        Value::Number(Number::I64(n)) if *n >= 0 => Ok(*n as u64),
+        // `u64::MAX as f64` rounds up to 2^64, so the bound must be
+        // strict: every representable f64 integer below 2^64 is valid,
+        // and 2^64 itself must error rather than saturate.
+        Value::Number(Number::F64(f)) if f.fract() == 0.0 && *f >= 0.0 && *f < u64::MAX as f64 => {
+            Ok(*f as u64)
+        }
+        other => Err(unexpected("unsigned integer", other)),
+    }
+}
+
+fn as_i64<E: Error>(v: &Value) -> Result<i64, E> {
+    match v {
+        Value::Number(Number::I64(n)) => Ok(*n),
+        Value::Number(Number::U64(n)) if *n <= i64::MAX as u64 => Ok(*n as i64),
+        // `i64::MAX as f64` rounds up to 2^63 (out of range), so the
+        // upper bound must be strict; `i64::MIN as f64` is exactly
+        // -2^63, which is in range, so the lower bound is inclusive.
+        Value::Number(Number::F64(f))
+            if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f < i64::MAX as f64 =>
+        {
+            Ok(*f as i64)
+        }
+        other => Err(unexpected("integer", other)),
+    }
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.take_value()?;
+                let n = as_u64::<D::Error>(&v)?;
+                <$t>::try_from(n).map_err(|_| {
+                    D::Error::custom(format!("{} out of range for {}", n, stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.take_value()?;
+                let n = as_i64::<D::Error>(&v)?;
+                <$t>::try_from(n).map_err(|_| {
+                    D::Error::custom(format!("{} out of range for {}", n, stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Number(Number::F64(f)) => Ok(f),
+            Value::Number(Number::U64(n)) => Ok(n as f64),
+            Value::Number(Number::I64(n)) => Ok(n as f64),
+            other => Err(unexpected("number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(unexpected("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(unexpected("single-character string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(()),
+            other => Err(unexpected("null", &other)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            v => crate::value::from_value(v).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+fn take_seq<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Vec<Value>, D::Error> {
+    match deserializer.take_value()? {
+        Value::Seq(items) => Ok(items),
+        other => Err(unexpected("sequence", &other)),
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        take_seq(deserializer)?
+            .into_iter()
+            .map(|v| crate::value::from_value(v).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        take_seq(deserializer)?
+            .into_iter()
+            .map(|v| crate::value::from_value(v).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: DeserializeOwned + Eq + std::hash::Hash> Deserialize<'de>
+    for std::collections::HashSet<T>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        take_seq(deserializer)?
+            .into_iter()
+            .map(|v| crate::value::from_value(v).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        take_seq(deserializer)?
+            .into_iter()
+            .map(|v| crate::value::from_value(v).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal : $($name:ident . $idx:tt),+))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let items = take_seq(deserializer)?;
+                if items.len() != $len {
+                    return Err(D::Error::custom(format!(
+                        "expected a sequence of {} elements, got {}", $len, items.len()
+                    )));
+                }
+                let mut it = items.into_iter();
+                Ok(($(
+                    {
+                        let _ = $idx;
+                        crate::value::from_value::<$name>(it.next().expect("length checked"))
+                            .map_err(D::Error::custom)?
+                    },
+                )+))
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (2: T0.0, T1.1)
+    (3: T0.0, T1.1, T2.2)
+    (4: T0.0, T1.1, T2.2, T3.3)
+}
+
+/// Map keys parse back from their string form.
+fn key_from_string<K: DeserializeOwned>(key: String) -> Result<K, crate::ValueError> {
+    // Try as a plain string first, then as an integer.
+    let as_string = crate::value::from_value::<K>(Value::String(key.clone()));
+    if let Ok(k) = as_string {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        return crate::value::from_value::<K>(Value::Number(Number::U64(n)));
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        return crate::value::from_value::<K>(Value::Number(Number::I64(n)));
+    }
+    Err(crate::ValueError::new(format!("cannot parse map key {key:?}")))
+}
+
+macro_rules! deserialize_map {
+    ($($map:ident [$($bound:tt)*]),*) => {$(
+        impl<'de, K: DeserializeOwned + $($bound)*, V: DeserializeOwned> Deserialize<'de>
+            for std::collections::$map<K, V>
+        {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::Map(entries) => entries
+                        .into_iter()
+                        .map(|(k, v)| {
+                            let key = key_from_string::<K>(k).map_err(D::Error::custom)?;
+                            let value =
+                                crate::value::from_value::<V>(v).map_err(D::Error::custom)?;
+                            Ok((key, value))
+                        })
+                        .collect(),
+                    other => Err(unexpected("map", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_map!(BTreeMap[Ord], HashMap[Eq + std::hash::Hash]);
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}

@@ -1,0 +1,21 @@
+//! Vendored subset of the `serde` API over a concrete, JSON-shaped
+//! data model.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! carries a minimal serde whose [`Serializer`]/[`Deserializer`] traits
+//! funnel through one concrete tree type, [`Value`]. Handwritten
+//! `serialize`/`deserialize` functions (the `#[serde(with = "...")]`
+//! convention) and the derive macros from `serde_derive` both target the
+//! same trait surface as real serde, so the project's source compiles
+//! unchanged.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{from_value, to_value, Number, Value, ValueError};

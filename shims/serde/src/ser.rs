@@ -1,0 +1,291 @@
+//! Serialization half of the mini data model.
+
+use crate::value::{Number, Value};
+use std::fmt::Display;
+
+/// Errors produced by serializers.
+pub trait Error: Sized + Display {
+    /// Builds an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can take apart Rust values.
+///
+/// Unlike real serde's 30-method trait, every sink here receives the
+/// finished [`Value`] tree through [`Serializer::serialize_value`]; the
+/// leaf methods used by handwritten impls are provided on top of it.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes a finished data-model tree.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Number(Number::U64(v)))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        if v >= 0 {
+            self.serialize_u64(v as u64)
+        } else {
+            self.serialize_value(Value::Number(Number::I64(v)))
+        }
+    }
+
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Number(Number::F64(v)))
+    }
+
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::String(v.to_owned()))
+    }
+
+    /// Serializes an opaque byte string (as a sequence of integers, the
+    /// same representation `serde_json` uses).
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Seq(
+            v.iter().map(|&b| Value::Number(Number::U64(b as u64))).collect(),
+        ))
+    }
+
+    /// Serializes a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+
+    /// Serializes `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+
+    /// Serializes `Some(value)` transparently.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        let v = crate::value::to_value(value).map_err(Self::Error::custom)?;
+        self.serialize_value(v)
+    }
+}
+
+/// A value serializable into the data model.
+pub trait Serialize {
+    /// Feeds `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_none(),
+            Some(v) => serializer.serialize_some(v),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+fn seq_to_value<'a, T: Serialize + 'a, S: Serializer>(
+    items: impl Iterator<Item = &'a T>,
+) -> Result<Value, S::Error> {
+    let mut out = Vec::new();
+    for item in items {
+        out.push(crate::value::to_value(item).map_err(S::Error::custom)?);
+    }
+    Ok(Value::Seq(out))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // HashSet iteration order is per-process random; sort the
+        // serialized elements canonically so output is deterministic.
+        match seq_to_value::<T, S>(self.iter())? {
+            Value::Seq(mut items) => {
+                items.sort_by_cached_key(|v| format!("{v:?}"));
+                serializer.serialize_value(Value::Seq(items))
+            }
+            other => serializer.serialize_value(other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value::<T, S>(self.iter())?;
+        serializer.serialize_value(v)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(crate::value::to_value(&self.$idx).map_err(S::Error::custom)?),+
+                ];
+                serializer.serialize_value(Value::Seq(items))
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (T0.0, T1.1)
+    (T0.0, T1.1, T2.2)
+    (T0.0, T1.1, T2.2, T3.3)
+}
+
+/// Maps serialize as `{key: value}` objects; keys must render as
+/// strings (string keys directly, integer keys via `to_string`).
+fn map_key_to_string<K: Serialize>(key: &K) -> Result<String, crate::ValueError> {
+    match crate::value::to_value(key)? {
+        Value::String(s) => Ok(s),
+        Value::Number(Number::U64(n)) => Ok(n.to_string()),
+        Value::Number(Number::I64(n)) => Ok(n.to_string()),
+        other => Err(crate::ValueError::new(format!(
+            "map key must be a string or integer, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+macro_rules! serialize_map {
+    ($($map:ident),*) => {$(
+        impl<K: Serialize, V: Serialize> Serialize for std::collections::$map<K, V> {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut entries = Vec::new();
+                for (k, v) in self.iter() {
+                    let key = map_key_to_string(k).map_err(S::Error::custom)?;
+                    let value = crate::value::to_value(v).map_err(S::Error::custom)?;
+                    entries.push((key, value));
+                }
+                // HashMap iteration order is per-process random; sort so
+                // serialized output is deterministic (the workspace
+                // guarantees byte-identical output for identical seeds).
+                // BTreeMap arrives sorted, so this is a no-op for it.
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                serializer.serialize_value(Value::Map(entries))
+            }
+        }
+    )*};
+}
+
+serialize_map!(BTreeMap, HashMap);
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}

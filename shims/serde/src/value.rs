@@ -1,0 +1,120 @@
+//! The concrete data model every serializer/deserializer funnels through.
+
+use std::fmt;
+
+/// A JSON-shaped tree value: serde's data model made concrete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` / unit / `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number (unsigned, signed, or floating).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A map with insertion-ordered string keys (struct fields,
+    /// externally tagged enum variants, string-keyed maps).
+    Map(Vec<(String, Value)>),
+}
+
+/// Number representation preserving integer exactness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An unsigned integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+}
+
+impl Value {
+    /// Looks up `key` in a `Map` value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// The error type shared by the value-level serializer and deserializer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueError {
+    msg: String,
+}
+
+impl ValueError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        ValueError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl crate::ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError::new(msg.to_string())
+    }
+}
+
+impl crate::de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError::new(msg.to_string())
+    }
+}
+
+/// Serializes `value` into a [`Value`] tree.
+pub fn to_value<T: crate::Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes a `T` out of a [`Value`] tree.
+pub fn from_value<T: crate::DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// The identity [`crate::Serializer`]: its output *is* the tree.
+pub struct ValueSerializer;
+
+impl crate::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, v: Value) -> Result<Value, ValueError> {
+        Ok(v)
+    }
+}
+
+/// The identity [`crate::Deserializer`]: hands the tree back out.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> crate::Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}

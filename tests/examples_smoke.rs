@@ -1,0 +1,55 @@
+//! Smoke tests: every `examples/` binary must run to completion.
+//!
+//! Each test shells out to `cargo run --example <name>` so the examples
+//! are exercised exactly as a user would launch them and cannot rot
+//! silently. Concurrent invocations serialize on cargo's build lock,
+//! which is fine — the example artifacts are already built by the time
+//! `cargo test` runs.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(manifest_dir)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example {name} produced no output"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn seed_agreement_demo_runs() {
+    run_example("seed_agreement_demo");
+}
+
+#[test]
+fn locality_scaling_runs() {
+    run_example("locality_scaling");
+}
+
+#[test]
+fn adversarial_decay_runs() {
+    run_example("adversarial_decay");
+}
+
+#[test]
+fn amac_multimessage_runs() {
+    run_example("amac_multimessage");
+}

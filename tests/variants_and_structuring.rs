@@ -87,7 +87,7 @@ fn mis_is_valid_on_irregular_networks() {
         );
         let out = build_mis(&mut mac, 10);
         assert_eq!(out.validate(&topo.graph), None, "{name}: {:?}", out.states);
-        assert!(out.states.iter().any(|s| *s == MisState::InMis));
+        assert!(out.states.contains(&MisState::InMis));
     }
 }
 
