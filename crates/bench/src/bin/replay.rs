@@ -14,17 +14,16 @@
 
 use bench::TraceBundle;
 use local_broadcast::spec;
-use std::process::exit;
+use std::process::{exit, ExitCode};
 
-fn main() {
+fn run() -> Result<(), String> {
     let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: replay BUNDLE.json");
-        exit(2);
+        return Err("usage: replay BUNDLE.json".to_string());
     };
     let data = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    let bundle: TraceBundle =
-        serde_json::from_str(&data).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let bundle: TraceBundle = serde_json::from_str(&data)
+        .map_err(|e| format!("cannot parse {path} as a trace bundle: {e}"))?;
 
     println!(
         "bundle: n = {}, Δ = {}, Δ' = {}, r = {}, {} rounds, {} events",
@@ -84,5 +83,16 @@ fn main() {
 
     if failures > 0 {
         exit(1);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
 }

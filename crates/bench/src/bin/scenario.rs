@@ -1,0 +1,153 @@
+//! Run a declarative scenario — a registry name or a JSON file — and
+//! print experiment-style stats tables.
+//!
+//! ```text
+//! scenario --list
+//! scenario <name | file.json> [--trials N] [--seed S]
+//!          [--save-trace PATH]   # trial 0's full trace as JSON
+//!          [--export PATH]       # write the scenario itself as JSON
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release -p bench --bin scenario -- e4
+//! cargo run --release -p bench --bin scenario -- churn --trials 2
+//! cargo run --release -p bench --bin scenario -- scenarios/drop_burst.json
+//! ```
+
+use scenario::{registry, Scenario, ScenarioRunner};
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: scenario --list\n       scenario <name | file.json> [--trials N] [--seed S] \
+     [--save-trace PATH] [--export PATH]"
+        .to_string()
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load(selector: &str) -> Result<Scenario, String> {
+    if let Some(s) = registry::find(selector) {
+        return Ok(s);
+    }
+    if selector.ends_with(".json") || std::path::Path::new(selector).exists() {
+        let data = std::fs::read_to_string(selector)
+            .map_err(|e| format!("cannot read scenario file {selector}: {e}"))?;
+        return Scenario::from_json(&data)
+            .map_err(|e| format!("scenario file {selector}: {e}"));
+    }
+    Err(format!(
+        "unknown scenario {selector:?}: not a registry name (see --list) and no such file"
+    ))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        return Err(usage());
+    }
+    if args.iter().any(|a| a == "--list") {
+        println!("registered scenarios:");
+        for s in registry::all() {
+            println!("  {:<16} {}", s.name, s.description);
+        }
+        return Ok(());
+    }
+
+    // One pass over the arguments: exactly one positional selector;
+    // every flag must be known, and valued flags must have a value.
+    const VALUED_FLAGS: [&str; 4] = ["--trials", "--seed", "--save-trace", "--export"];
+    let mut selector: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if VALUED_FLAGS.contains(&a.as_str()) {
+            if i + 1 >= args.len() {
+                return Err(format!("{a} needs a value\n{}", usage()));
+            }
+            i += 2;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag {a}\n{}", usage()));
+        } else if selector.is_some() {
+            return Err(format!("unexpected extra argument {a:?}\n{}", usage()));
+        } else {
+            selector = Some(a.clone());
+            i += 1;
+        }
+    }
+    let selector = &selector.ok_or_else(usage)?;
+
+    let mut scenario = load(selector)?;
+    if let Some(t) = arg_value(&args, "--trials") {
+        scenario.trials = t
+            .parse()
+            .map_err(|e| format!("--trials {t}: not a count ({e})"))?;
+    }
+    if let Some(s) = arg_value(&args, "--seed") {
+        scenario.base_seed = s
+            .parse()
+            .map_err(|e| format!("--seed {s}: not a u64 ({e})"))?;
+    }
+
+    // Validate (ScenarioRunner::new) before exporting, so --export can
+    // never leave behind a file the loader itself would reject.
+    let runner = ScenarioRunner::new(scenario).map_err(|e| e.to_string())?;
+    if let Some(path) = arg_value(&args, "--export") {
+        std::fs::write(&path, runner.scenario().to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("exported scenario to {path}");
+    }
+    let s = runner.scenario();
+    let topo = runner.topology();
+    eprintln!(
+        "== scenario {} — n = {}, Δ = {}, Δ' = {}, {} workload, {} adversary, {} trial(s) ==",
+        s.name,
+        topo.graph.len(),
+        topo.graph.delta(),
+        topo.graph.delta_prime(),
+        s.workload.name(),
+        s.adversary.name(),
+        s.trials,
+    );
+    if !s.description.is_empty() {
+        eprintln!("   {}", s.description);
+    }
+
+    let save_trace = arg_value(&args, "--save-trace");
+    let start = std::time::Instant::now();
+    let (report, trace) = match &save_trace {
+        // Capture trial 0's trace from the same execution rather than
+        // re-simulating it afterwards.
+        Some(_) => {
+            let (report, trace) = runner.run_with_trial0_trace();
+            (report, Some(trace))
+        }
+        None => (runner.run(), None),
+    };
+    eprintln!("   ({} trial(s), {:.1?})", report.outcomes.len(), start.elapsed());
+    for table in report.tables() {
+        println!("{table}");
+    }
+
+    if let (Some(path), Some(json)) = (save_trace, trace) {
+        std::fs::write(&path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("saved trial-0 trace ({} bytes) to {path}", json.len());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -28,7 +28,7 @@ use radio_sim::scheduler::{self, ContentionPump, LinkScheduler};
 use radio_sim::topology::{self, Topology};
 use radio_sim::trace::{RecordingPolicy, Trace};
 use std::collections::VecDeque;
-use std::process::exit;
+use std::process::{exit, ExitCode};
 
 fn usage() -> ! {
     eprintln!(
@@ -122,7 +122,7 @@ fn summarize<I, M>(trace: &Trace<I, LbOutput, M>, rounds: u64) {
     }
 }
 
-fn main() {
+fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         usage();
@@ -149,7 +149,9 @@ fn main() {
     );
     println!("scheduler: {sched_spec}   algorithm: {alg}   ε₁ = {eps}   seed = {seed}");
     for s in &senders {
-        assert!(s.0 < n, "sender {s} out of range");
+        if s.0 >= n {
+            return Err(format!("sender {s} out of range: topology has {n} nodes"));
+        }
     }
 
     let mut queues = vec![VecDeque::new(); n];
@@ -199,7 +201,8 @@ fn main() {
                     trace: engine.into_trace(),
                 };
                 let json = serde_json::to_string(&bundle).expect("bundle serializes");
-                std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+                std::fs::write(&path, json)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
                 println!("\nsaved trace bundle to {path} (audit with `replay {path}`)");
             }
         }
@@ -222,5 +225,16 @@ fn main() {
             summarize(engine.trace(), rounds);
         }
         _ => usage(),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
     }
 }

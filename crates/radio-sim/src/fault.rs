@@ -1,0 +1,346 @@
+//! Fault injection: node churn, jamming windows, and message-drop bursts.
+//!
+//! The paper's model already contains one adversary — the link scheduler
+//! choosing which unreliable edges exist each round. Real deployments add
+//! failure modes *outside* that model: devices power-cycling (churn),
+//! localized interference floors (jamming), and transient loss bursts.
+//! A [`FaultPlan`] describes those faults declaratively, fixed at the
+//! start of the execution like the link schedule, so a faulted execution
+//! remains a pure function of `(configuration, plan, master seed)` and is
+//! replayable bit-for-bit.
+//!
+//! Semantics, applied by the engine each round:
+//!
+//! * **Crash** — a node is *down* in rounds `[down_from, up_at)` (or
+//!   forever when `up_at` is `None`). While down it takes no steps at
+//!   all: no inputs, no transmit/listen, no outputs; its edges carry
+//!   nothing. Environment inputs addressed to it are discarded (and
+//!   recorded as `InputLost` fault events) — a reactive environment
+//!   that waits for the node's outputs before sending more, like an
+//!   ack-gated broadcast queue, will therefore stall for that node, just
+//!   as a real client whose request died with the device. On recovery
+//!   the engine calls
+//!   [`Process::on_restart`](crate::process::Process::on_restart) (state
+//!   intact by default — a duty-cycle/power-save churn model).
+//! * **Jam** — during rounds `[from, to]` every *listed* node hears noise:
+//!   while listening it receives `⊥` regardless of how many neighbors
+//!   transmit. Its own transmissions are unaffected (receivers outside
+//!   the jammed set still hear them).
+//! * **Drop burst** — during rounds `[from, to]` every reception that
+//!   would otherwise succeed is independently suppressed with probability
+//!   `p`, using a dedicated random stream derived from the master seed
+//!   ([`StreamKind::Fault`](crate::rng::StreamKind::Fault)), so drops
+//!   never perturb process or scheduler randomness.
+//!
+//! Crash/recover and jam-window transitions are recorded in the trace as
+//! [`EventKind::Fault`](crate::trace::EventKind::Fault) events; individual
+//! drops are recorded when reception recording is enabled.
+
+use crate::graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One node going down and (optionally) coming back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Crash {
+    /// The affected vertex.
+    pub node: NodeId,
+    /// First round (1-based, inclusive) the node is down.
+    pub down_from: u64,
+    /// First round the node is back up; `None` means it never recovers.
+    pub up_at: Option<u64>,
+}
+
+impl Crash {
+    /// Whether the node is down in `round`.
+    pub fn is_down(&self, round: u64) -> bool {
+        round >= self.down_from && self.up_at.is_none_or(|up| round < up)
+    }
+}
+
+/// A jamming window: the listed nodes hear only noise during the window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Jam {
+    /// The jammed vertices (e.g. all nodes inside an interference disc).
+    pub nodes: Vec<NodeId>,
+    /// First jammed round (1-based, inclusive).
+    pub from: u64,
+    /// Last jammed round (inclusive).
+    pub to: u64,
+}
+
+impl Jam {
+    /// Whether the window covers `round`.
+    pub fn covers(&self, round: u64) -> bool {
+        round >= self.from && round <= self.to
+    }
+}
+
+/// A loss burst: successful receptions are dropped with probability `p`
+/// during the window, decided by the dedicated fault random stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DropBurst {
+    /// First affected round (1-based, inclusive).
+    pub from: u64,
+    /// Last affected round (inclusive).
+    pub to: u64,
+    /// Per-reception drop probability.
+    pub p: f64,
+}
+
+impl DropBurst {
+    /// Whether the burst covers `round`.
+    pub fn covers(&self, round: u64) -> bool {
+        round >= self.from && round <= self.to
+    }
+}
+
+/// Errors from [`FaultPlan::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A fault referenced a vertex index `>= n`.
+    NodeOutOfRange {
+        /// The offending vertex.
+        node: NodeId,
+        /// The configuration's vertex count.
+        n: usize,
+    },
+    /// A window or crash interval is empty or starts before round 1.
+    BadWindow {
+        /// Description of the offending entry.
+        what: String,
+    },
+    /// A drop probability was outside `[0, 1]`.
+    BadProbability(f64),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::NodeOutOfRange { node, n } => {
+                write!(f, "fault references vertex {node} but the graph has {n} vertices")
+            }
+            FaultError::BadWindow { what } => write!(f, "malformed fault window: {what}"),
+            FaultError::BadProbability(p) => {
+                write!(f, "drop probability must be in [0, 1], got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A complete fault schedule, fixed at the start of the execution.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Node crash/recover events.
+    pub crashes: Vec<Crash>,
+    /// Jamming windows.
+    pub jams: Vec<Jam>,
+    /// Message-drop bursts.
+    pub drops: Vec<DropBurst>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults): engine behavior is identical to a
+    /// plan-free execution.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.jams.is_empty() && self.drops.is_empty()
+    }
+
+    /// Adds a crash (builder style).
+    pub fn with_crash(mut self, node: NodeId, down_from: u64, up_at: Option<u64>) -> Self {
+        self.crashes.push(Crash {
+            node,
+            down_from,
+            up_at,
+        });
+        self
+    }
+
+    /// Adds a jamming window (builder style).
+    pub fn with_jam(mut self, nodes: Vec<NodeId>, from: u64, to: u64) -> Self {
+        self.jams.push(Jam { nodes, from, to });
+        self
+    }
+
+    /// Adds a drop burst (builder style).
+    pub fn with_drop_burst(mut self, from: u64, to: u64, p: f64) -> Self {
+        self.drops.push(DropBurst { from, to, p });
+        self
+    }
+
+    /// Checks structural validity against a graph of `n` vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultError`] found: an out-of-range vertex, an
+    /// empty or 0-based window, or a drop probability outside `[0, 1]`.
+    pub fn validate(&self, n: usize) -> Result<(), FaultError> {
+        for c in &self.crashes {
+            if c.node.0 >= n {
+                return Err(FaultError::NodeOutOfRange { node: c.node, n });
+            }
+            if c.down_from == 0 {
+                return Err(FaultError::BadWindow {
+                    what: format!("crash of {} starts at round 0 (rounds are 1-based)", c.node),
+                });
+            }
+            if let Some(up) = c.up_at {
+                if up <= c.down_from {
+                    return Err(FaultError::BadWindow {
+                        what: format!(
+                            "crash of {} recovers at {up} before going down at {}",
+                            c.node, c.down_from
+                        ),
+                    });
+                }
+            }
+        }
+        for j in &self.jams {
+            for v in &j.nodes {
+                if v.0 >= n {
+                    return Err(FaultError::NodeOutOfRange { node: *v, n });
+                }
+            }
+            if j.from == 0 || j.to < j.from {
+                return Err(FaultError::BadWindow {
+                    what: format!("jam window [{}, {}]", j.from, j.to),
+                });
+            }
+        }
+        for d in &self.drops {
+            if d.from == 0 || d.to < d.from {
+                return Err(FaultError::BadWindow {
+                    what: format!("drop burst [{}, {}]", d.from, d.to),
+                });
+            }
+            if !(0.0..=1.0).contains(&d.p) {
+                return Err(FaultError::BadProbability(d.p));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fills `down[v] = true` for every vertex down in `round`.
+    pub fn fill_down(&self, round: u64, down: &mut [bool]) {
+        down.fill(false);
+        for c in &self.crashes {
+            if c.is_down(round) {
+                down[c.node.0] = true;
+            }
+        }
+    }
+
+    /// Fills `jammed[v] = true` for every vertex jammed in `round`.
+    pub fn fill_jammed(&self, round: u64, jammed: &mut [bool]) {
+        jammed.fill(false);
+        for j in &self.jams {
+            if j.covers(round) {
+                for v in &j.nodes {
+                    jammed[v.0] = true;
+                }
+            }
+        }
+    }
+
+    /// The drop bursts active in `round`, in declaration order.
+    pub fn active_drops(&self, round: u64) -> impl Iterator<Item = &DropBurst> {
+        self.drops.iter().filter(move |d| d.covers(round))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::none().validate(0).is_ok());
+    }
+
+    #[test]
+    fn crash_interval_is_half_open() {
+        let c = Crash {
+            node: NodeId(1),
+            down_from: 3,
+            up_at: Some(6),
+        };
+        assert!(!c.is_down(2));
+        assert!(c.is_down(3));
+        assert!(c.is_down(5));
+        assert!(!c.is_down(6));
+    }
+
+    #[test]
+    fn permanent_crash_never_recovers() {
+        let c = Crash {
+            node: NodeId(0),
+            down_from: 2,
+            up_at: None,
+        };
+        assert!(c.is_down(1_000_000));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let plan = FaultPlan::none().with_crash(NodeId(9), 1, None);
+        assert!(matches!(
+            plan.validate(3),
+            Err(FaultError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_inverted_windows() {
+        let plan = FaultPlan::none().with_jam(vec![NodeId(0)], 5, 2);
+        assert!(matches!(plan.validate(1), Err(FaultError::BadWindow { .. })));
+        let plan = FaultPlan::none().with_crash(NodeId(0), 4, Some(4));
+        assert!(matches!(plan.validate(1), Err(FaultError::BadWindow { .. })));
+        let plan = FaultPlan::none().with_drop_burst(0, 3, 0.5);
+        assert!(matches!(plan.validate(1), Err(FaultError::BadWindow { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_bad_probability() {
+        let plan = FaultPlan::none().with_drop_burst(1, 3, 1.5);
+        assert!(matches!(
+            plan.validate(1),
+            Err(FaultError::BadProbability(_))
+        ));
+    }
+
+    #[test]
+    fn fill_masks_reflect_windows() {
+        let plan = FaultPlan::none()
+            .with_crash(NodeId(0), 2, Some(4))
+            .with_jam(vec![NodeId(1), NodeId(2)], 3, 5);
+        let mut down = vec![false; 3];
+        let mut jammed = vec![false; 3];
+        plan.fill_down(2, &mut down);
+        assert_eq!(down, vec![true, false, false]);
+        plan.fill_down(4, &mut down);
+        assert_eq!(down, vec![false, false, false]);
+        plan.fill_jammed(3, &mut jammed);
+        assert_eq!(jammed, vec![false, true, true]);
+        plan.fill_jammed(6, &mut jammed);
+        assert_eq!(jammed, vec![false, false, false]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let plan = FaultPlan::none()
+            .with_crash(NodeId(2), 5, Some(9))
+            .with_jam(vec![NodeId(0)], 1, 4)
+            .with_drop_burst(3, 7, 0.25);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

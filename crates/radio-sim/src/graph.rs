@@ -44,19 +44,29 @@ impl Edge {
         }
     }
 
+    /// The endpoint opposite to `x`, or `None` when `x` is not an
+    /// endpoint of this edge.
+    pub fn try_other(&self, x: NodeId) -> Option<NodeId> {
+        if x == self.a {
+            Some(self.b)
+        } else if x == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
     /// The endpoint opposite to `x`.
+    ///
+    /// Prefer [`Edge::try_other`] when `x` is not statically known to be
+    /// an endpoint.
     ///
     /// # Panics
     ///
     /// Panics if `x` is not an endpoint.
     pub fn other(&self, x: NodeId) -> NodeId {
-        if x == self.a {
-            self.b
-        } else if x == self.b {
-            self.a
-        } else {
-            panic!("{x} is not an endpoint of {self:?}")
-        }
+        self.try_other(x)
+            .unwrap_or_else(|| panic!("{x} is not an endpoint of {self:?}"))
     }
 }
 
@@ -313,8 +323,11 @@ mod tests {
     fn edge_normalization_and_other() {
         let e = Edge::new(NodeId(5), NodeId(2));
         assert_eq!(e.a, NodeId(2));
+        assert_eq!(e.try_other(NodeId(2)), Some(NodeId(5)));
+        assert_eq!(e.try_other(NodeId(5)), Some(NodeId(2)));
+        assert_eq!(e.try_other(NodeId(7)), None);
+        // The panicking wrapper still works for known endpoints.
         assert_eq!(e.other(NodeId(2)), NodeId(5));
-        assert_eq!(e.other(NodeId(5)), NodeId(2));
     }
 
     #[test]

@@ -33,6 +33,8 @@
 //! * [`environment`] — deterministic environments that feed inputs and
 //!   consume outputs, per the round structure of Section 2.
 //! * [`engine`] — the synchronous round loop and collision resolution.
+//! * [`fault`] — declarative fault plans (node churn, jamming windows,
+//!   message-drop bursts) injected deterministically by the engine.
 //! * [`trace`] — execution traces: the first-class record of an execution
 //!   over which specification predicates are evaluated.
 //! * [`rng`] — deterministic per-node randomness (ChaCha streams).
@@ -65,6 +67,7 @@
 
 pub mod engine;
 pub mod environment;
+pub mod fault;
 pub mod geometry;
 pub mod graph;
 pub mod process;
@@ -77,6 +80,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::engine::{Configuration, Engine};
     pub use crate::environment::{Environment, NullEnvironment};
+    pub use crate::fault::FaultPlan;
     pub use crate::geometry::{Embedding, Point, RegionId, RegionPartition};
     pub use crate::graph::{DualGraph, NodeId};
     pub use crate::process::{Action, Context, ProcId, Process};

@@ -71,6 +71,13 @@ pub trait Process: Send {
 
     /// Drains outputs generated this round (end-of-round step).
     fn take_outputs(&mut self) -> Vec<Self::Output>;
+
+    /// Called when the node comes back up after a fault-plan crash
+    /// (see [`crate::fault::FaultPlan`]), before any other callback of
+    /// the recovery round. The default keeps all state — a duty-cycle /
+    /// power-save churn model; algorithms that model crash-restart with
+    /// volatile memory override this to reset themselves.
+    fn on_restart(&mut self, _ctx: &mut Context<'_>) {}
 }
 
 #[cfg(test)]

@@ -20,6 +20,10 @@ pub enum StreamKind {
     Scheduler,
     /// Randomness used by topology generators.
     Topology,
+    /// The fault plan's drop-burst coin flips (stream index = round), kept
+    /// separate so injected faults never perturb process or scheduler
+    /// randomness.
+    Fault,
 }
 
 impl StreamKind {
@@ -28,6 +32,7 @@ impl StreamKind {
             StreamKind::Process => 0x50524f43, // "PROC"
             StreamKind::Scheduler => 0x53434845,
             StreamKind::Topology => 0x544f504f,
+            StreamKind::Fault => 0x46415554, // "FAUT"
         }
     }
 }

@@ -41,6 +41,36 @@ pub enum EventKind<I, O, M> {
     },
     /// The node emitted an output consumed by the environment.
     Output(O),
+    /// A fault-plan effect took hold at this node (see
+    /// [`crate::fault::FaultPlan`]).
+    Fault(FaultEvent),
+}
+
+/// Fault-plan effects recorded in traces. Crash/recover and jam-window
+/// transitions are always recorded (they are rare); per-reception drops
+/// are recorded only under a reception-recording policy (they can be as
+/// frequent as receptions themselves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// The node went down at the start of this round.
+    Crash,
+    /// The node came back up at the start of this round.
+    Recover,
+    /// A jamming window covering this node began this round.
+    JamStart,
+    /// The last jammed round for this node was the previous round.
+    JamEnd,
+    /// A reception from `from` that would have succeeded was dropped by
+    /// an active drop burst.
+    Dropped {
+        /// The transmitter whose message was lost.
+        from: NodeId,
+    },
+    /// An environment input addressed to this node was discarded because
+    /// the node was down. Recorded so a stalled workload (e.g. a queue
+    /// environment waiting on an ack that can never come) is explained
+    /// by its trace.
+    InputLost,
 }
 
 /// Aggregate channel activity in one round, recorded when
@@ -58,6 +88,13 @@ pub struct RoundStats {
     pub collisions: usize,
     /// Listeners with no transmitting topology-neighbor.
     pub silent: usize,
+    /// Listeners silenced by a jamming window this round.
+    pub jammed: usize,
+    /// Would-be deliveries suppressed by a drop burst this round.
+    pub dropped: usize,
+    /// Nodes down (crashed) this round; they are neither transmitters
+    /// nor listeners.
+    pub down: usize,
 }
 
 /// What the engine records. Spec checking needs inputs and outputs;
@@ -148,8 +185,19 @@ impl<I, O, M> Trace<I, O, M> {
             out.deliveries += s.deliveries;
             out.collisions += s.collisions;
             out.silent += s.silent;
+            out.jammed += s.jammed;
+            out.dropped += s.dropped;
+            out.down += s.down;
         }
         out
+    }
+
+    /// All fault events, as `(round, node, fault)` triples.
+    pub fn faults(&self) -> impl Iterator<Item = (u64, NodeId, FaultEvent)> + '_ {
+        self.events.iter().filter_map(|e| match &e.kind {
+            EventKind::Fault(f) => Some((e.round, e.node, *f)),
+            _ => None,
+        })
     }
 
     /// All output events, as `(round, node, output)` triples.

@@ -76,8 +76,9 @@ proptest! {
         prop_assume!(u != v);
         let e = Edge::new(NodeId(u), NodeId(v));
         prop_assert!(e.a.0 <= e.b.0);
-        prop_assert_eq!(e.other(e.a), e.b);
-        prop_assert_eq!(e.other(e.b), e.a);
+        prop_assert_eq!(e.try_other(e.a), Some(e.b));
+        prop_assert_eq!(e.try_other(e.b), Some(e.a));
+        prop_assert_eq!(e.try_other(NodeId(u + v + 1)), None);
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! # scenario: declarative simulation campaigns for the dual graph model
+//!
+//! The paper's guarantees are quantified over an *adversarial* dual
+//! graph `(G, G')`: the interesting behavior of `Seed(δ, ε)` and
+//! `LB(t_ack, t_prog, ε)` only shows up under hostile link schedules,
+//! churn, and interference. This crate makes such campaigns **data**
+//! instead of code:
+//!
+//! * [`spec`] — the serde-serializable [`Scenario`](spec::Scenario)
+//!   description (topology family + adversary schedule + fault plan +
+//!   workload + stop condition + seeds) and its validating
+//!   [`ScenarioBuilder`](spec::ScenarioBuilder).
+//! * [`registry`] — named scenarios: the E1–E11 experiment suite
+//!   re-expressed as data, plus fault-injection scenarios (churn,
+//!   jamming window, drop burst) the hard-coded suite could not state.
+//! * [`runner`] — the [`ScenarioRunner`](runner::ScenarioRunner),
+//!   compiling a scenario into configured `radio-sim` executions, fanning
+//!   trials across cores, and aggregating experiment-style stats tables.
+//!
+//! Scenarios serialize to JSON (`Scenario::to_json` /
+//! `Scenario::from_json`); the `scenario` binary in the `bench` crate
+//! runs a registry name or a JSON file end-to-end. Executions are pure
+//! functions of `(scenario, trial index)`: replaying a trial yields a
+//! byte-identical trace, fault injection included.
+//!
+//! ```
+//! use scenario::prelude::*;
+//!
+//! let s = ScenarioBuilder::new(
+//!     "demo",
+//!     TopologySpec::Clique { n: 4, r: 1.0 },
+//!     WorkloadSpec::LocalBroadcast {
+//!         epsilon1: 0.25,
+//!         senders: vec![0],
+//!         messages_per_sender: 1,
+//!     },
+//! )
+//! .drop_burst(5, 20, 0.25)
+//! .trials(2)
+//! .build()
+//! .expect("valid scenario");
+//! let report = ScenarioRunner::new(s).expect("runnable").run();
+//! assert_eq!(report.outcomes.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod runner;
+pub mod spec;
+
+pub use runner::{ScenarioReport, ScenarioRunner, TrialOutcome};
+pub use spec::{
+    AdversarySpec, FaultPlanSpec, RegionSpec, Scenario, ScenarioBuilder, ScenarioError, StopSpec,
+    TopologySpec, WorkloadSpec,
+};
+
+/// Commonly used items, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::registry;
+    pub use crate::runner::{ScenarioReport, ScenarioRunner, TrialOutcome};
+    pub use crate::spec::{
+        AdversarySpec, CrashSpec, DropSpec, FaultPlanSpec, JamSpec, RegionSpec, Scenario,
+        ScenarioBuilder, ScenarioError, StopSpec, TopologySpec, WorkloadSpec,
+    };
+}

@@ -1,0 +1,697 @@
+//! Compiling a [`Scenario`] into `radio-sim` executions and aggregating
+//! trial outcomes.
+//!
+//! The [`ScenarioRunner`] owns a validated scenario and its built
+//! topology. Each trial is a pure function of the trial's master seed
+//! (`base_seed + trial_index`), so trials fan out across cores through
+//! [`analysis::runner::run_trials`] with results identical to a
+//! sequential run, and any single trial can be re-executed later — the
+//! serialized trace from [`ScenarioRunner::trial_trace_json`] is
+//! byte-identical across replays.
+
+use crate::spec::{Scenario, ScenarioError, StopSpec, WorkloadSpec};
+use analysis::runner::run_trials;
+use analysis::stats::Summary;
+use analysis::table::{fnum, Table};
+use baselines::{decay_process, uniform_process, FixedScheduleProcess};
+use local_broadcast::alg::LbProcess;
+use local_broadcast::config::LbConfig;
+use local_broadcast::msg::{LbInput, LbOutput, Payload};
+use local_broadcast::service::QueueWorkload;
+use local_broadcast::spec as lb_spec;
+use radio_sim::engine::{Configuration, Engine};
+use radio_sim::environment::{NullEnvironment, ScriptedEnvironment};
+use radio_sim::fault::FaultPlan;
+use radio_sim::graph::NodeId;
+use radio_sim::process::Process;
+use radio_sim::scheduler;
+use radio_sim::topology::Topology;
+use radio_sim::trace::{EventKind, RecordingPolicy, RoundStats, Trace};
+use seed_agreement::alg::SeedProcess;
+use seed_agreement::{spec as seed_spec, SeedConfig};
+use std::collections::VecDeque;
+
+/// Rounds per "phase" for the fixed-schedule baselines, which have no
+/// intrinsic phase structure (`StopSpec::Phases` multiplies this).
+const BASELINE_PHASE_ROUNDS: u64 = 128;
+
+/// Natural horizon for baseline workloads under `StopSpec::Complete`.
+const BASELINE_COMPLETE_ROUNDS: u64 = 1024;
+
+/// What one trial measured.
+#[derive(Debug, Clone)]
+pub struct TrialOutcome {
+    /// The trial's master seed.
+    pub master_seed: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Acknowledgment outputs (broadcast workloads).
+    pub acks: usize,
+    /// Delivery outputs: `recv`s for broadcast workloads, `decide`s for
+    /// seed agreement, messages learned for the MAC flood.
+    pub recvs: usize,
+    /// Channel totals summed over all rounds.
+    pub totals: RoundStats,
+    /// Round of the watched delivery (`FirstDeliveryAt` stop) or of the
+    /// first delivery/completion otherwise, when one occurred.
+    pub first_delivery: Option<u64>,
+    /// Whether the stop condition's goal was met (always true for plain
+    /// round/phase budgets).
+    pub stop_satisfied: bool,
+    /// Max distinct seed owners per `G'`-neighborhood (seed agreement
+    /// workloads only).
+    pub max_owners: Option<usize>,
+    /// Whether the workload's deterministic spec conditions held on the
+    /// trace (well-formedness/consistency/fidelity for seed agreement;
+    /// timely-ack/validity for `LBAlg`). Faults may legitimately break
+    /// them — that is the point of measuring.
+    pub spec_ok: bool,
+}
+
+/// All trial outcomes of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Per-trial outcomes, ordered by trial index.
+    pub outcomes: Vec<TrialOutcome>,
+}
+
+impl ScenarioReport {
+    /// Renders the report as experiment-style stats tables.
+    pub fn tables(&self) -> Vec<Table> {
+        let s = &self.scenario;
+        let mut head = Table::new(
+            s.name.clone(),
+            format!(
+                "scenario: {} workload / {} adversary on {:?} nodes",
+                s.workload.name(),
+                s.adversary.name(),
+                s.topology.node_count(),
+            ),
+            if s.description.is_empty() {
+                "—".to_string()
+            } else {
+                s.description.clone()
+            },
+            vec!["quantity", "value"],
+        );
+        head.push_row(vec!["trials".into(), self.outcomes.len().to_string()]);
+        head.push_row(vec![
+            "stop goal met".into(),
+            format!(
+                "{}/{}",
+                self.outcomes.iter().filter(|o| o.stop_satisfied).count(),
+                self.outcomes.len()
+            ),
+        ]);
+        head.push_row(vec![
+            "deterministic spec held".into(),
+            format!(
+                "{}/{}",
+                self.outcomes.iter().filter(|o| o.spec_ok).count(),
+                self.outcomes.len()
+            ),
+        ]);
+        head.push_row(vec![
+            "first delivery observed".into(),
+            format!(
+                "{}/{}",
+                self.outcomes
+                    .iter()
+                    .filter(|o| o.first_delivery.is_some())
+                    .count(),
+                self.outcomes.len()
+            ),
+        ]);
+
+        let mut stats = Table::new(
+            format!("{}-stats", s.name),
+            "per-trial statistics",
+            "mean/min/median/p95/max over trials",
+            vec!["metric", "mean", "min", "median", "p95", "max"],
+        );
+        let mut metric = |name: &str, values: Vec<f64>| {
+            if values.is_empty() {
+                return;
+            }
+            let sum = Summary::of(&values);
+            stats.push_row(vec![
+                name.into(),
+                fnum(sum.mean),
+                fnum(sum.min),
+                fnum(sum.median),
+                fnum(sum.p95),
+                fnum(sum.max),
+            ]);
+        };
+        let of = |f: &dyn Fn(&TrialOutcome) -> f64| -> Vec<f64> {
+            self.outcomes.iter().map(f).collect()
+        };
+        metric("rounds", of(&|o| o.rounds as f64));
+        metric("acks", of(&|o| o.acks as f64));
+        metric("deliveries (outputs)", of(&|o| o.recvs as f64));
+        metric("transmissions", of(&|o| o.totals.transmitters as f64));
+        metric("channel deliveries", of(&|o| o.totals.deliveries as f64));
+        metric("collisions", of(&|o| o.totals.collisions as f64));
+        metric("silent listens", of(&|o| o.totals.silent as f64));
+        metric("jammed listens", of(&|o| o.totals.jammed as f64));
+        metric("dropped receptions", of(&|o| o.totals.dropped as f64));
+        metric("down node-rounds", of(&|o| o.totals.down as f64));
+        metric(
+            "first delivery round",
+            self.outcomes
+                .iter()
+                .filter_map(|o| o.first_delivery.map(|r| r as f64))
+                .collect(),
+        );
+        metric(
+            "max owners / neighborhood",
+            self.outcomes
+                .iter()
+                .filter_map(|o| o.max_owners.map(|m| m as f64))
+                .collect(),
+        );
+        vec![head, stats]
+    }
+}
+
+/// Executes a validated scenario.
+pub struct ScenarioRunner {
+    scenario: Scenario,
+    topo: Topology,
+    faults: FaultPlan,
+}
+
+impl ScenarioRunner {
+    /// Validates the scenario, builds its topology, and resolves fault
+    /// regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation failure (see [`Scenario::validate`]).
+    pub fn new(scenario: Scenario) -> Result<Self, ScenarioError> {
+        scenario.validate()?;
+        let topo = scenario.topology.build();
+        let faults = scenario.faults.resolve(&topo);
+        Ok(ScenarioRunner {
+            scenario,
+            topo,
+            faults,
+        })
+    }
+
+    /// The scenario being executed.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The built topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Runs all trials (in parallel across cores; output order and
+    /// content are independent of thread count).
+    pub fn run(&self) -> ScenarioReport {
+        let outcomes = run_trials(self.scenario.trials, self.scenario.base_seed, |seed| {
+            self.run_seeded(seed, false).0
+        });
+        ScenarioReport {
+            scenario: self.scenario.clone(),
+            outcomes,
+        }
+    }
+
+    /// Like [`ScenarioRunner::run`], but also returns trial 0's trace
+    /// JSON from the same execution (no re-simulation; the bytes equal
+    /// [`ScenarioRunner::trial_trace_json`]`(0)`).
+    pub fn run_with_trial0_trace(&self) -> (ScenarioReport, String) {
+        let base = self.scenario.base_seed;
+        let results = run_trials(self.scenario.trials, base, |seed| {
+            self.run_seeded(seed, seed == base)
+        });
+        let mut trace = None;
+        let outcomes = results
+            .into_iter()
+            .map(|(o, t)| {
+                if let Some(t) = t {
+                    trace = Some(t);
+                }
+                o
+            })
+            .collect();
+        (
+            ScenarioReport {
+                scenario: self.scenario.clone(),
+                outcomes,
+            },
+            trace.expect("trial 0 always runs"),
+        )
+    }
+
+    /// Runs the single trial with index `trial` (master seed
+    /// `base_seed + trial`).
+    pub fn run_trial(&self, trial: usize) -> TrialOutcome {
+        self.run_seeded(self.scenario.base_seed + trial as u64, false).0
+    }
+
+    /// Runs trial `trial` and returns its full execution trace as JSON.
+    /// Identical `(scenario, trial)` pairs produce byte-identical JSON —
+    /// the determinism contract replay tests assert.
+    pub fn trial_trace_json(&self, trial: usize) -> String {
+        self.run_seeded(self.scenario.base_seed + trial as u64, true)
+            .1
+            .expect("trace requested")
+    }
+
+    fn configuration(&self, master_seed: u64) -> Configuration {
+        let config = match self.scenario.adversary.build_oblivious(master_seed) {
+            Some(sched) => self.topo.configuration(sched),
+            None => self
+                .topo
+                .configuration(Box::new(scheduler::NoExtraEdges))
+                .with_adaptive(
+                    self.scenario
+                        .adversary
+                        .build_adaptive()
+                        .expect("non-oblivious spec is adaptive"),
+                ),
+        };
+        config
+            .with_recording(RecordingPolicy::full())
+            .with_faults(self.faults.clone())
+    }
+
+    /// Horizon in rounds for a workload whose phase is `phase_len` and
+    /// whose natural completion horizon is `complete`.
+    fn horizon(&self, phase_len: u64, complete: u64) -> u64 {
+        match self.scenario.stop {
+            StopSpec::Rounds { rounds } => rounds,
+            StopSpec::Phases { phases } => phases.saturating_mul(phase_len),
+            StopSpec::Complete => complete,
+            StopSpec::FirstDeliveryAt { horizon_rounds, .. } => horizon_rounds,
+        }
+    }
+
+    fn run_seeded(&self, master_seed: u64, want_trace: bool) -> (TrialOutcome, Option<String>) {
+        match &self.scenario.workload {
+            WorkloadSpec::SeedAgreement {
+                epsilon1,
+                seed_bits,
+            } => self.run_seed_agreement(*epsilon1, *seed_bits, master_seed, want_trace),
+            WorkloadSpec::LocalBroadcast {
+                epsilon1,
+                senders,
+                messages_per_sender,
+            } => self.run_local_broadcast(
+                *epsilon1,
+                senders,
+                *messages_per_sender,
+                master_seed,
+                want_trace,
+            ),
+            WorkloadSpec::Decay { senders } => {
+                self.run_baseline(None, senders, master_seed, want_trace)
+            }
+            WorkloadSpec::Uniform { p, senders } => {
+                self.run_baseline(Some(*p), senders, master_seed, want_trace)
+            }
+            WorkloadSpec::AmacFlood { epsilon1, sources } => {
+                self.run_amac_flood(*epsilon1, sources, master_seed, want_trace)
+            }
+        }
+    }
+
+    fn run_seed_agreement(
+        &self,
+        epsilon1: f64,
+        seed_bits: usize,
+        master_seed: u64,
+        want_trace: bool,
+    ) -> (TrialOutcome, Option<String>) {
+        let cfg = SeedConfig::practical(epsilon1, seed_bits);
+        let delta = self.topo.graph.delta();
+        let horizon = self.horizon(cfg.phase_len(), cfg.total_rounds(delta));
+        let n = self.topo.graph.len();
+        let procs: Vec<SeedProcess> = (0..n).map(|_| SeedProcess::new(cfg.clone())).collect();
+        let mut engine = Engine::new(
+            self.configuration(master_seed),
+            procs,
+            Box::new(NullEnvironment),
+            master_seed,
+        );
+        let stop_satisfied = self.drive(&mut engine, horizon, |_decide| true);
+        let trace = engine.trace();
+        let spec_ok = seed_spec::check_well_formedness(trace).is_ok()
+            && seed_spec::check_consistency(trace).is_ok()
+            && seed_spec::check_owner_seed_fidelity(trace).is_ok();
+        let max_owners = seed_spec::owners_per_neighborhood(trace, &self.topo.graph)
+            .ok()
+            .and_then(|per| per.into_iter().max());
+        let outcome = TrialOutcome {
+            master_seed,
+            rounds: trace.rounds,
+            acks: 0,
+            recvs: trace.outputs().count(),
+            totals: trace.total_stats(),
+            first_delivery: self.watched_delivery(trace, |_| true),
+            stop_satisfied,
+            max_owners,
+            spec_ok,
+        };
+        let json = want_trace.then(|| serde_json::to_string(trace).expect("trace serializes"));
+        (outcome, json)
+    }
+
+    fn run_local_broadcast(
+        &self,
+        epsilon1: f64,
+        senders: &[usize],
+        messages_per_sender: u64,
+        master_seed: u64,
+        want_trace: bool,
+    ) -> (TrialOutcome, Option<String>) {
+        let cfg = LbConfig::practical(epsilon1);
+        let params = cfg.resolve(
+            self.topo.r,
+            self.topo.graph.delta(),
+            self.topo.graph.delta_prime(),
+        );
+        let horizon = self.horizon(
+            params.phase_len(),
+            (params.t_ack_rounds() + params.phase_len())
+                .saturating_mul(messages_per_sender.max(1)),
+        );
+        let n = self.topo.graph.len();
+        let mut queues = vec![VecDeque::new(); n];
+        for &s in senders {
+            for tag in 0..messages_per_sender {
+                queues[s].push_back(Payload::new(s as u64, tag));
+            }
+        }
+        let env = QueueWorkload::new(queues, 1);
+        let procs: Vec<LbProcess> = (0..n).map(|_| LbProcess::new(cfg.clone())).collect();
+        let mut engine = Engine::new(
+            self.configuration(master_seed),
+            procs,
+            Box::new(env),
+            master_seed,
+        );
+        let stop_satisfied =
+            self.drive(&mut engine, horizon, |o: &LbOutput| !o.is_ack());
+        let trace = engine.trace();
+        let spec_ok = lb_spec::check_timely_ack(trace, params.t_ack_rounds()).is_ok()
+            && lb_spec::check_validity(trace, &self.topo.graph).is_ok();
+        let outcome = TrialOutcome {
+            master_seed,
+            rounds: trace.rounds,
+            acks: trace.outputs().filter(|(_, _, o)| o.is_ack()).count(),
+            recvs: trace.outputs().filter(|(_, _, o)| !o.is_ack()).count(),
+            totals: trace.total_stats(),
+            first_delivery: self.watched_delivery(trace, |o: &LbOutput| !o.is_ack()),
+            stop_satisfied,
+            max_owners: None,
+            spec_ok,
+        };
+        let json = want_trace.then(|| serde_json::to_string(trace).expect("trace serializes"));
+        (outcome, json)
+    }
+
+    fn run_baseline(
+        &self,
+        uniform_p: Option<f64>,
+        senders: &[usize],
+        master_seed: u64,
+        want_trace: bool,
+    ) -> (TrialOutcome, Option<String>) {
+        let horizon = self.horizon(BASELINE_PHASE_ROUNDS, BASELINE_COMPLETE_ROUNDS);
+        let n = self.topo.graph.len();
+        let mk = || -> FixedScheduleProcess {
+            match uniform_p {
+                Some(p) => uniform_process(p, Some(horizon.saturating_mul(2))),
+                None => decay_process(Some(horizon.saturating_mul(2))),
+            }
+        };
+        let procs: Vec<FixedScheduleProcess> = (0..n).map(|_| mk()).collect();
+        let script: Vec<(u64, NodeId, LbInput)> = senders
+            .iter()
+            .map(|&v| (1, NodeId(v), LbInput::Bcast(Payload::new(v as u64, 0))))
+            .collect();
+        let mut engine = Engine::new(
+            self.configuration(master_seed),
+            procs,
+            Box::new(ScriptedEnvironment::new(script)),
+            master_seed,
+        );
+        let stop_satisfied =
+            self.drive(&mut engine, horizon, |o: &LbOutput| !o.is_ack());
+        let trace = engine.trace();
+        let outcome = TrialOutcome {
+            master_seed,
+            rounds: trace.rounds,
+            acks: trace.outputs().filter(|(_, _, o)| o.is_ack()).count(),
+            recvs: trace.outputs().filter(|(_, _, o)| !o.is_ack()).count(),
+            totals: trace.total_stats(),
+            first_delivery: self.watched_delivery(trace, |o: &LbOutput| !o.is_ack()),
+            stop_satisfied,
+            max_owners: None,
+            spec_ok: true,
+        };
+        let json = want_trace.then(|| serde_json::to_string(trace).expect("trace serializes"));
+        (outcome, json)
+    }
+
+    fn run_amac_flood(
+        &self,
+        epsilon1: f64,
+        sources: &[usize],
+        master_seed: u64,
+        want_trace: bool,
+    ) -> (TrialOutcome, Option<String>) {
+        let cfg = LbConfig::with_constants(epsilon1, 1.0, 2.0, 1.0);
+        let sched = self
+            .scenario
+            .adversary
+            .build_oblivious(master_seed)
+            .expect("validation rejects adaptive adversaries for amac flood");
+        let mut mac = amac::adapter::LbMac::new(&self.topo, sched, cfg, master_seed);
+        let f_ack = mac.params().t_ack_rounds();
+        let n = self.topo.graph.len();
+        let horizon = self.horizon(f_ack, f_ack.saturating_mul(n as u64 + 4).saturating_mul(2));
+        let source_nodes: Vec<NodeId> = sources.iter().map(|&v| NodeId(v)).collect();
+        let out = amac::apps::flood_broadcast(&mut mac, &source_nodes, 1, horizon);
+        let complete = out.complete(source_nodes.len());
+        let known: usize = out.known.iter().map(|k| k.len()).sum();
+        let trace = mac.trace();
+        let outcome = TrialOutcome {
+            master_seed,
+            rounds: trace.rounds,
+            acks: trace.outputs().filter(|(_, _, o)| o.is_ack()).count(),
+            recvs: known,
+            totals: trace.total_stats(),
+            first_delivery: out.completed_at,
+            stop_satisfied: complete,
+            max_owners: None,
+            spec_ok: true,
+        };
+        let json = want_trace.then(|| serde_json::to_string(trace).expect("trace serializes"));
+        (outcome, json)
+    }
+
+    /// Runs `engine` to the stop condition: plain budgets run `horizon`
+    /// rounds; `FirstDeliveryAt` stops early when an
+    /// `is_delivery`-filtered output appears at the watched node.
+    /// Returns whether the stop goal was met.
+    fn drive<P: Process>(
+        &self,
+        engine: &mut Engine<P>,
+        horizon: u64,
+        is_delivery: impl Fn(&P::Output) -> bool,
+    ) -> bool {
+        match self.scenario.stop {
+            StopSpec::FirstDeliveryAt { node, .. } => {
+                let watch = NodeId(node);
+                // Under full recording the event list grows every round;
+                // only scan events appended since the last check so the
+                // run stays linear in the trace size.
+                let mut seen = 0usize;
+                engine.run_until(horizon, move |t| {
+                    let hit = t.events[seen..].iter().any(|e| {
+                        e.node == watch
+                            && matches!(&e.kind, EventKind::Output(o) if is_delivery(o))
+                    });
+                    seen = t.events.len();
+                    hit
+                })
+            }
+            _ => {
+                engine.run(horizon);
+                true
+            }
+        }
+    }
+
+    /// The round of the delivery the stop condition watches (or the
+    /// first matching output anywhere, for plain budgets).
+    fn watched_delivery<I, O, M>(
+        &self,
+        trace: &Trace<I, O, M>,
+        is_delivery: impl Fn(&O) -> bool,
+    ) -> Option<u64> {
+        match self.scenario.stop {
+            StopSpec::FirstDeliveryAt { node, .. } => trace
+                .outputs()
+                .find(|(_, v, o)| *v == NodeId(node) && is_delivery(o))
+                .map(|(r, _, _)| r),
+            _ => trace
+                .outputs()
+                .find(|(_, _, o)| is_delivery(o))
+                .map(|(r, _, _)| r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AdversarySpec, ScenarioBuilder, TopologySpec};
+
+    fn small_lb(name: &str) -> ScenarioBuilder {
+        ScenarioBuilder::new(
+            name,
+            TopologySpec::Clique { n: 4, r: 1.0 },
+            WorkloadSpec::LocalBroadcast {
+                epsilon1: 0.25,
+                senders: vec![0],
+                messages_per_sender: 1,
+            },
+        )
+        .trials(2)
+        .base_seed(11)
+    }
+
+    #[test]
+    fn lb_scenario_runs_and_reports() {
+        let runner = ScenarioRunner::new(small_lb("t").build().unwrap()).unwrap();
+        let report = runner.run();
+        assert_eq!(report.outcomes.len(), 2);
+        for o in &report.outcomes {
+            assert!(o.acks >= 1, "single broadcast acks within Complete horizon");
+            assert!(o.spec_ok);
+        }
+        let tables = report.tables();
+        assert_eq!(tables.len(), 2);
+        assert!(!tables[1].rows.is_empty());
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_trials() {
+        let runner = ScenarioRunner::new(
+            small_lb("t").trials(4).build().unwrap(),
+        )
+        .unwrap();
+        let report = runner.run();
+        for (i, o) in report.outcomes.iter().enumerate() {
+            let solo = runner.run_trial(i);
+            assert_eq!(o.rounds, solo.rounds);
+            assert_eq!(o.acks, solo.acks);
+            assert_eq!(o.recvs, solo.recvs);
+            assert_eq!(o.totals, solo.totals);
+        }
+    }
+
+    #[test]
+    fn run_with_trace_matches_replay() {
+        let runner = ScenarioRunner::new(
+            small_lb("t").drop_burst(5, 30, 0.5).build().unwrap(),
+        )
+        .unwrap();
+        let (report, trace) = runner.run_with_trial0_trace();
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(trace, runner.trial_trace_json(0));
+    }
+
+    #[test]
+    fn seed_scenario_measures_owners() {
+        let s = ScenarioBuilder::new(
+            "seed",
+            TopologySpec::Clique { n: 6, r: 1.0 },
+            WorkloadSpec::SeedAgreement {
+                epsilon1: 0.25,
+                seed_bits: 16,
+            },
+        )
+        .trials(2)
+        .build()
+        .unwrap();
+        let report = ScenarioRunner::new(s).unwrap().run();
+        for o in &report.outcomes {
+            assert!(o.spec_ok);
+            assert!(o.max_owners.is_some());
+            assert!(o.recvs > 0, "decides are delivered");
+        }
+    }
+
+    #[test]
+    fn first_delivery_stop_censors_at_horizon() {
+        // No extra edges and no reliable edges to node 2 of a sandwich
+        // would be complex; instead watch a node that *does* get served
+        // and check the round is recorded.
+        let s = small_lb("t")
+            .stop(StopSpec::FirstDeliveryAt {
+                node: 1,
+                horizon_rounds: 4096,
+            })
+            .build()
+            .unwrap();
+        let o = ScenarioRunner::new(s).unwrap().run_trial(0);
+        assert!(o.stop_satisfied);
+        assert_eq!(o.first_delivery.map(|r| r == o.rounds), Some(true));
+    }
+
+    #[test]
+    fn faulted_scenario_records_fault_stats() {
+        let s = small_lb("faulty")
+            .adversary(AdversarySpec::AllExtraEdges)
+            .crash(3, 1, None)
+            .jam_nodes(vec![2], 1, 20)
+            .drop_burst(1, 20, 1.0)
+            .stop(StopSpec::Rounds { rounds: 20 })
+            .build()
+            .unwrap();
+        let o = ScenarioRunner::new(s).unwrap().run_trial(0);
+        assert_eq!(o.totals.down, 20);
+        assert!(o.totals.jammed > 0);
+        assert_eq!(
+            o.totals.deliveries, 0,
+            "p = 1 drop burst suppresses every delivery"
+        );
+    }
+
+    #[test]
+    fn amac_flood_scenario_completes() {
+        let s = ScenarioBuilder::new(
+            "flood",
+            TopologySpec::Line {
+                n: 3,
+                spacing: 0.9,
+                r: 1.0,
+            },
+            WorkloadSpec::AmacFlood {
+                epsilon1: 0.25,
+                sources: vec![0],
+            },
+        )
+        .adversary(AdversarySpec::Bernoulli { p: 0.5 })
+        .trials(2)
+        .base_seed(60_000)
+        .build()
+        .unwrap();
+        let report = ScenarioRunner::new(s).unwrap().run();
+        assert!(
+            report.outcomes.iter().any(|o| o.stop_satisfied),
+            "flood completes in at least one trial"
+        );
+    }
+}

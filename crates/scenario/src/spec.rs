@@ -1,0 +1,1286 @@
+//! The declarative scenario description: serde types and validation.
+//!
+//! A [`Scenario`] is a complete, self-contained description of a
+//! simulation campaign — topology family, dual-graph adversary schedule,
+//! fault plan, workload, stop condition, and seeding — expressible as a
+//! JSON file. Everything the runner does is a pure function of the
+//! scenario value, so campaigns are shareable, diffable, and replayable.
+//!
+//! Construction goes through [`ScenarioBuilder`] (or JSON via
+//! [`Scenario::from_json`]); both validate the description before any
+//! simulation runs, so a `Scenario` accepted by the runner never panics
+//! inside a topology generator or the engine's fault-plan check.
+
+use radio_sim::fault::FaultPlan;
+use radio_sim::geometry::{Embedding, Point};
+use radio_sim::graph::NodeId;
+use radio_sim::scheduler::{self, AdaptiveScheduler, LinkScheduler};
+use radio_sim::topology::{self, GreyKind, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from scenario validation and JSON loading.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The JSON could not be parsed into a [`Scenario`].
+    Parse(String),
+    /// A field failed validation; the string names field and constraint.
+    Invalid(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse(e) => write!(f, "cannot parse scenario: {e}"),
+            ScenarioError::Invalid(e) => write!(f, "invalid scenario: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn invalid(msg: impl Into<String>) -> ScenarioError {
+    ScenarioError::Invalid(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+/// A topology family plus its parameters, mirroring the generators in
+/// [`radio_sim::topology`] (and the E7 pump arena from the experiment
+/// suite) as plain data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// `n` nodes on a line, `spacing` apart; grey-zone pairs unreliable.
+    Line {
+        /// Node count.
+        n: usize,
+        /// Distance between adjacent nodes.
+        spacing: f64,
+        /// Geographic parameter `r ≥ 1`.
+        r: f64,
+    },
+    /// `n` nodes on a circle of circumference `n · spacing`.
+    Ring {
+        /// Node count (≥ 3).
+        n: usize,
+        /// Arc distance between adjacent nodes.
+        spacing: f64,
+        /// Geographic parameter `r ≥ 1`.
+        r: f64,
+    },
+    /// A `rows × cols` grid with the given spacing.
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+        /// Distance between adjacent grid points.
+        spacing: f64,
+        /// Geographic parameter `r ≥ 1`.
+        r: f64,
+    },
+    /// `n` nodes packed in a disc of diameter < 1: a reliable clique.
+    Clique {
+        /// Node count.
+        n: usize,
+        /// Geographic parameter `r ≥ 1`.
+        r: f64,
+    },
+    /// The grey-zone sandwich: receiver + reliable senders + a ring of
+    /// grey (unreliable-only) senders.
+    GreySandwich {
+        /// Reliable senders within distance 1 of the receiver.
+        reliable: usize,
+        /// Grey senders in the annulus `(1, r]`.
+        grey: usize,
+        /// Geographic parameter `r > 1`.
+        r: f64,
+    },
+    /// The E7 arena: a grey sandwich plus a remote clique inflating the
+    /// global degree bound Δ (stretching Decay's probability ladder).
+    PumpArena {
+        /// Reliable senders near the receiver.
+        reliable: usize,
+        /// Grey senders on the unreliable ring.
+        grey: usize,
+    },
+    /// Dense core clique with a sparse grey-zone periphery ring.
+    TwoTier {
+        /// Core clique size.
+        core: usize,
+        /// Periphery node count.
+        periphery: usize,
+        /// Periphery ring radius, in `(1, r]`.
+        ring_radius: f64,
+        /// Geographic parameter.
+        r: f64,
+    },
+    /// Clusters of tightly packed nodes bridged by grey-zone links.
+    Clustered {
+        /// Number of clusters.
+        clusters: usize,
+        /// Nodes per cluster.
+        cluster_size: usize,
+        /// Distance between adjacent cluster centers.
+        spacing: f64,
+        /// Cluster radius.
+        spread: f64,
+        /// Geographic parameter.
+        r: f64,
+        /// Placement seed.
+        seed: u64,
+    },
+    /// Uniformly random placement in a `side × side` square.
+    RandomGeometric {
+        /// Node count.
+        n: usize,
+        /// Deployment square side length.
+        side: f64,
+        /// Geographic parameter.
+        r: f64,
+        /// Probability a grey-zone pair becomes reliable.
+        grey_reliable_p: f64,
+        /// Probability a (non-reliable) grey-zone pair becomes unreliable.
+        grey_unreliable_p: f64,
+        /// Placement and wiring seed.
+        seed: u64,
+    },
+    /// Constant-density deployment whose area grows with `n` (E9).
+    ConstantDensity {
+        /// Node count.
+        n: usize,
+        /// Expected nodes per unit disc.
+        density: f64,
+        /// Geographic parameter.
+        r: f64,
+        /// Placement seed.
+        seed: u64,
+    },
+}
+
+impl TopologySpec {
+    /// The vertex count the built topology will have.
+    pub fn node_count(&self) -> usize {
+        match self {
+            TopologySpec::Line { n, .. }
+            | TopologySpec::Ring { n, .. }
+            | TopologySpec::Clique { n, .. }
+            | TopologySpec::RandomGeometric { n, .. }
+            | TopologySpec::ConstantDensity { n, .. } => *n,
+            TopologySpec::Grid { rows, cols, .. } => rows * cols,
+            TopologySpec::GreySandwich { reliable, grey, .. } => 1 + reliable + grey,
+            TopologySpec::PumpArena { reliable, grey } => 1 + reliable + grey + (*grey).max(4),
+            TopologySpec::TwoTier {
+                core, periphery, ..
+            } => core + periphery,
+            TopologySpec::Clustered {
+                clusters,
+                cluster_size,
+                ..
+            } => clusters * cluster_size,
+        }
+    }
+
+    /// Checks the parameters the generators would otherwise `assert!` on.
+    fn validate(&self) -> Result<(), ScenarioError> {
+        let check_r = |r: f64| {
+            if r >= 1.0 && r.is_finite() {
+                Ok(())
+            } else {
+                Err(invalid(format!("topology: r must be >= 1, got {r}")))
+            }
+        };
+        let check_spacing = |s: f64| {
+            if s > 0.0 && s.is_finite() {
+                Ok(())
+            } else {
+                Err(invalid(format!("topology: spacing must be > 0, got {s}")))
+            }
+        };
+        if self.node_count() == 0 {
+            return Err(invalid("topology: node count must be >= 1"));
+        }
+        match *self {
+            TopologySpec::Line { spacing, r, .. } | TopologySpec::Grid { spacing, r, .. } => {
+                check_spacing(spacing)?;
+                check_r(r)
+            }
+            TopologySpec::Ring { n, spacing, r } => {
+                if n < 3 {
+                    return Err(invalid("topology: a ring needs at least 3 nodes"));
+                }
+                check_spacing(spacing)?;
+                check_r(r)
+            }
+            TopologySpec::Clique { r, .. } => check_r(r),
+            TopologySpec::GreySandwich { r, .. } => {
+                if r <= 1.0 {
+                    return Err(invalid("topology: grey sandwich needs r > 1"));
+                }
+                check_r(r)
+            }
+            TopologySpec::PumpArena { .. } => Ok(()),
+            TopologySpec::TwoTier { ring_radius, r, .. } => {
+                check_r(r)?;
+                if ring_radius > 1.0 && ring_radius <= r {
+                    Ok(())
+                } else {
+                    Err(invalid(format!(
+                        "topology: two-tier ring radius must lie in (1, r], got {ring_radius}"
+                    )))
+                }
+            }
+            TopologySpec::Clustered {
+                spacing, spread, r, ..
+            } => {
+                check_spacing(spacing)?;
+                if spread <= 0.0 || !spread.is_finite() {
+                    return Err(invalid("topology: cluster spread must be > 0"));
+                }
+                check_r(r)
+            }
+            TopologySpec::RandomGeometric {
+                side,
+                r,
+                grey_reliable_p,
+                grey_unreliable_p,
+                ..
+            } => {
+                check_spacing(side)?;
+                check_r(r)?;
+                for p in [grey_reliable_p, grey_unreliable_p] {
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(invalid(format!(
+                            "topology: grey wiring probability must be in [0, 1], got {p}"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            TopologySpec::ConstantDensity { density, r, .. } => {
+                if density <= 0.0 || !density.is_finite() {
+                    return Err(invalid("topology: density must be > 0"));
+                }
+                check_r(r)
+            }
+        }
+    }
+
+    /// Builds the topology. Call only on a validated spec.
+    pub fn build(&self) -> Topology {
+        match *self {
+            TopologySpec::Line { n, spacing, r } => topology::line(n, spacing, r),
+            TopologySpec::Ring { n, spacing, r } => topology::ring(n, spacing, r),
+            TopologySpec::Grid {
+                rows,
+                cols,
+                spacing,
+                r,
+            } => topology::grid(rows, cols, spacing, r),
+            TopologySpec::Clique { n, r } => topology::clique(n, r),
+            TopologySpec::GreySandwich { reliable, grey, r } => {
+                topology::grey_sandwich(reliable, grey, r)
+            }
+            TopologySpec::PumpArena { reliable, grey } => pump_arena(reliable, grey),
+            TopologySpec::TwoTier {
+                core,
+                periphery,
+                ring_radius,
+                r,
+            } => topology::two_tier(core, periphery, ring_radius, r),
+            TopologySpec::Clustered {
+                clusters,
+                cluster_size,
+                spacing,
+                spread,
+                r,
+                seed,
+            } => topology::clustered(topology::ClusterParams {
+                clusters,
+                cluster_size,
+                spacing,
+                spread,
+                r,
+                seed,
+            }),
+            TopologySpec::RandomGeometric {
+                n,
+                side,
+                r,
+                grey_reliable_p,
+                grey_unreliable_p,
+                seed,
+            } => topology::random_geometric(topology::RggParams {
+                n,
+                side,
+                r,
+                grey_reliable_p,
+                grey_unreliable_p,
+                seed,
+            }),
+            TopologySpec::ConstantDensity { n, density, r, seed } => {
+                topology::constant_density(n, density, r, seed)
+            }
+        }
+    }
+}
+
+/// The E7 arena (receiver + reliable arc + grey ring + remote clique),
+/// re-expressed here so scenarios can name it as a family.
+fn pump_arena(reliable: usize, grey: usize) -> Topology {
+    let r = 2.0;
+    let mut pts = vec![Point::new(0.0, 0.0)];
+    for i in 0..reliable {
+        let a = 0.5 * (i as f64) / reliable.max(1) as f64;
+        pts.push(Point::new(0.8 * a.cos(), 0.8 * a.sin()));
+    }
+    let ring = 1.5;
+    for i in 0..grey {
+        let a = 2.0 * std::f64::consts::PI * (i as f64) / grey.max(1) as f64;
+        pts.push(Point::new(ring * a.cos(), ring * a.sin()));
+    }
+    let clique = grey.max(4);
+    for i in 0..clique {
+        let a = 2.0 * std::f64::consts::PI * (i as f64) / clique as f64;
+        pts.push(Point::new(100.0 + 0.49 * a.cos(), 0.49 * a.sin()));
+    }
+    topology::from_embedding(Embedding::new(pts), r, GreyKind::Unreliable)
+}
+
+// ---------------------------------------------------------------------------
+// Adversary (link scheduler)
+// ---------------------------------------------------------------------------
+
+/// The dual-graph adversary schedule, mirroring the scheduler library.
+///
+/// Randomized schedules (`Bernoulli`, `EpochRandom`) derive their seed
+/// from each trial's master seed, so Monte-Carlo trials see independent
+/// schedules — exactly how the experiment suite uses them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdversarySpec {
+    /// Every unreliable edge present every round (`Gₜ = G'`).
+    AllExtraEdges,
+    /// No unreliable edge ever present (`Gₜ = G`).
+    NoExtraEdges,
+    /// Each extra edge present independently with probability `p` per
+    /// round.
+    Bernoulli {
+        /// Per-round inclusion probability.
+        p: f64,
+    },
+    /// All extra edges for `high` rounds, none for `low`, repeating.
+    Alternating {
+        /// Rounds per cycle with all extra edges.
+        high: u64,
+        /// Rounds per cycle with none.
+        low: u64,
+    },
+    /// The §1 contention pump against a Decay cycle of the given length.
+    ContentionPump {
+        /// Baseline probability-cycle length (`log₂ Δ̂`).
+        cycle: u64,
+    },
+    /// The fully general anti-Decay pump: flood rungs whose transmit
+    /// probability exceeds `threshold`, starve the rest.
+    MaskedPumpAgainstDecay {
+        /// Decay ladder length (`log₂ Δ̂`).
+        log_delta: u32,
+        /// Contention threshold selecting the flooded rungs.
+        threshold: f64,
+    },
+    /// Edge `j` present in round `t` iff `(t + j) mod k == 0`.
+    Striped {
+        /// Stripe modulus.
+        k: u64,
+    },
+    /// Round-robin rotation through `k` slices of the extra edges.
+    RoundRobin {
+        /// Slice count.
+        k: u64,
+    },
+    /// A fresh random subset held constant for `epoch` rounds at a time.
+    EpochRandom {
+        /// Rounds per epoch.
+        epoch: u64,
+        /// Per-epoch inclusion probability.
+        p: f64,
+    },
+    /// The adaptive greedy jammer — outside the paper's model; reproduces
+    /// the oblivious/adaptive separation (E8).
+    GreedyJammer,
+}
+
+impl AdversarySpec {
+    /// Whether this is the adaptive (outside-the-model) adversary.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, AdversarySpec::GreedyJammer)
+    }
+
+    /// A short name for report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversarySpec::AllExtraEdges => "all-edges",
+            AdversarySpec::NoExtraEdges => "no-edges",
+            AdversarySpec::Bernoulli { .. } => "bernoulli",
+            AdversarySpec::Alternating { .. } => "alternating",
+            AdversarySpec::ContentionPump { .. } => "contention-pump",
+            AdversarySpec::MaskedPumpAgainstDecay { .. } => "masked-pump",
+            AdversarySpec::Striped { .. } => "striped",
+            AdversarySpec::RoundRobin { .. } => "round-robin",
+            AdversarySpec::EpochRandom { .. } => "epoch-random",
+            AdversarySpec::GreedyJammer => "greedy-jammer",
+        }
+    }
+
+    fn validate(&self) -> Result<(), ScenarioError> {
+        match *self {
+            AdversarySpec::Bernoulli { p } | AdversarySpec::EpochRandom { p, .. }
+                if !(0.0..=1.0).contains(&p) =>
+            {
+                Err(invalid(format!(
+                    "adversary: inclusion probability must be in [0, 1], got {p}"
+                )))
+            }
+            AdversarySpec::EpochRandom { epoch: 0, .. } => {
+                Err(invalid("adversary: epoch must be >= 1"))
+            }
+            AdversarySpec::Alternating { high: 0, low: 0 } => {
+                Err(invalid("adversary: alternating cycle must be non-empty"))
+            }
+            AdversarySpec::ContentionPump { cycle: 0 } => {
+                Err(invalid("adversary: pump cycle must be >= 1"))
+            }
+            AdversarySpec::MaskedPumpAgainstDecay {
+                log_delta,
+                threshold,
+            } => {
+                if log_delta == 0 {
+                    Err(invalid("adversary: log_delta must be >= 1"))
+                } else if !(0.0..=1.0).contains(&threshold) {
+                    Err(invalid(format!(
+                        "adversary: pump threshold must be in [0, 1], got {threshold}"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            AdversarySpec::Striped { k: 0 } | AdversarySpec::RoundRobin { k: 0 } => {
+                Err(invalid("adversary: modulus must be >= 1"))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Builds the oblivious scheduler for one trial. `None` for the
+    /// adaptive adversary (see [`AdversarySpec::build_adaptive`]).
+    pub fn build_oblivious(&self, master_seed: u64) -> Option<Box<dyn LinkScheduler>> {
+        match *self {
+            AdversarySpec::AllExtraEdges => Some(Box::new(scheduler::AllExtraEdges)),
+            AdversarySpec::NoExtraEdges => Some(Box::new(scheduler::NoExtraEdges)),
+            AdversarySpec::Bernoulli { p } => {
+                Some(Box::new(scheduler::BernoulliEdges::new(p, master_seed)))
+            }
+            AdversarySpec::Alternating { high, low } => {
+                Some(Box::new(scheduler::AlternatingEdges::new(high, low)))
+            }
+            AdversarySpec::ContentionPump { cycle } => {
+                Some(Box::new(scheduler::ContentionPump::against_decay(cycle)))
+            }
+            AdversarySpec::MaskedPumpAgainstDecay {
+                log_delta,
+                threshold,
+            } => Some(Box::new(scheduler::MaskedPump::against_decay_with_threshold(
+                log_delta, threshold,
+            ))),
+            AdversarySpec::Striped { k } => Some(Box::new(scheduler::StripedEdges::new(k))),
+            AdversarySpec::RoundRobin { k } => {
+                Some(Box::new(scheduler::RoundRobinEdges::new(k)))
+            }
+            AdversarySpec::EpochRandom { epoch, p } => Some(Box::new(
+                scheduler::EpochRandomEdges::new(epoch, p, master_seed ^ 0xEB0C),
+            )),
+            AdversarySpec::GreedyJammer => None,
+        }
+    }
+
+    /// Builds the adaptive scheduler, when this spec names one.
+    pub fn build_adaptive(&self) -> Option<Box<dyn AdaptiveScheduler>> {
+        match self {
+            AdversarySpec::GreedyJammer => Some(Box::new(scheduler::GreedyJammer)),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Faults
+// ---------------------------------------------------------------------------
+
+/// A set of nodes, either listed explicitly or described geometrically
+/// against the topology's embedding (e.g. "everything within 1 unit of
+/// the arena center").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RegionSpec {
+    /// An explicit vertex list.
+    Nodes {
+        /// The vertex indices.
+        nodes: Vec<usize>,
+    },
+    /// All vertices within `radius` of `(x, y)` in the embedding.
+    Disc {
+        /// Disc center x.
+        x: f64,
+        /// Disc center y.
+        y: f64,
+        /// Disc radius.
+        radius: f64,
+    },
+}
+
+impl RegionSpec {
+    /// Resolves the region to a concrete vertex list.
+    pub fn resolve(&self, topo: &Topology) -> Vec<NodeId> {
+        match self {
+            RegionSpec::Nodes { nodes } => nodes.iter().map(|&v| NodeId(v)).collect(),
+            RegionSpec::Disc { x, y, radius } => {
+                let c = Point::new(*x, *y);
+                (0..topo.graph.len())
+                    .filter(|&v| topo.embedding.position(v).distance(&c) <= *radius)
+                    .map(NodeId)
+                    .collect()
+            }
+        }
+    }
+}
+
+/// A crash/recover entry in the scenario's fault plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// The affected vertex.
+    pub node: usize,
+    /// First round (1-based) the node is down.
+    pub down_from: u64,
+    /// First round it is back up; `None` = never.
+    pub up_at: Option<u64>,
+}
+
+/// A jamming window over a region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JamSpec {
+    /// The jammed region.
+    pub region: RegionSpec,
+    /// First jammed round (inclusive).
+    pub from: u64,
+    /// Last jammed round (inclusive).
+    pub to: u64,
+}
+
+/// A message-drop burst.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DropSpec {
+    /// First affected round (inclusive).
+    pub from: u64,
+    /// Last affected round (inclusive).
+    pub to: u64,
+    /// Per-reception drop probability.
+    pub p: f64,
+}
+
+/// The scenario-level fault plan; regions are resolved against the built
+/// topology into a [`radio_sim::fault::FaultPlan`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlanSpec {
+    /// Node churn events.
+    pub crashes: Vec<CrashSpec>,
+    /// Jamming windows.
+    pub jams: Vec<JamSpec>,
+    /// Drop bursts.
+    pub drops: Vec<DropSpec>,
+}
+
+impl FaultPlanSpec {
+    /// Whether the plan injects no faults.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.jams.is_empty() && self.drops.is_empty()
+    }
+
+    /// Resolves regions and converts into the engine's fault plan.
+    pub fn resolve(&self, topo: &Topology) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        for c in &self.crashes {
+            plan = plan.with_crash(NodeId(c.node), c.down_from, c.up_at);
+        }
+        for j in &self.jams {
+            plan = plan.with_jam(j.region.resolve(topo), j.from, j.to);
+        }
+        for d in &self.drops {
+            plan = plan.with_drop_burst(d.from, d.to, d.p);
+        }
+        plan
+    }
+
+    /// Structural validation against a vertex count, mirroring the
+    /// engine's [`FaultPlan::validate`] without building the topology:
+    /// disc regions resolve to in-range vertices by construction, so no
+    /// embedding is needed to validate a plan.
+    fn validate(&self, n: usize) -> Result<(), ScenarioError> {
+        for c in &self.crashes {
+            if c.node >= n {
+                return Err(invalid(format!(
+                    "faults: crash references vertex {} but the graph has {n} vertices",
+                    c.node
+                )));
+            }
+            if c.down_from == 0 {
+                return Err(invalid("faults: crash rounds are 1-based"));
+            }
+            if c.up_at.is_some_and(|up| up <= c.down_from) {
+                return Err(invalid(format!(
+                    "faults: crash of node {} recovers before going down",
+                    c.node
+                )));
+            }
+        }
+        for j in &self.jams {
+            match &j.region {
+                RegionSpec::Nodes { nodes } => {
+                    if let Some(v) = nodes.iter().find(|&&v| v >= n) {
+                        return Err(invalid(format!(
+                            "faults: jam references vertex {v} but the graph has {n} vertices"
+                        )));
+                    }
+                }
+                RegionSpec::Disc { radius, .. } => {
+                    if *radius < 0.0 || !radius.is_finite() {
+                        return Err(invalid(format!(
+                            "faults: jam disc radius must be >= 0, got {radius}"
+                        )));
+                    }
+                }
+            }
+            if j.from == 0 || j.to < j.from {
+                return Err(invalid(format!(
+                    "faults: malformed jam window [{}, {}]",
+                    j.from, j.to
+                )));
+            }
+        }
+        for d in &self.drops {
+            if d.from == 0 || d.to < d.from {
+                return Err(invalid(format!(
+                    "faults: malformed drop burst [{}, {}]",
+                    d.from, d.to
+                )));
+            }
+            if !(0.0..=1.0).contains(&d.p) {
+                return Err(invalid(format!(
+                    "faults: drop probability must be in [0, 1], got {}",
+                    d.p
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload and stop condition
+// ---------------------------------------------------------------------------
+
+/// What runs on the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// `SeedAlg` with no environment inputs (E1–E3, E10).
+    SeedAgreement {
+        /// Error parameter ε₁.
+        epsilon1: f64,
+        /// Seed length κ in bits.
+        seed_bits: usize,
+    },
+    /// `LBAlg` with per-sender payload queues injected one-at-a-time
+    /// after each ack (the well-formed LB workload).
+    LocalBroadcast {
+        /// Error parameter ε₁.
+        epsilon1: f64,
+        /// Broadcasting vertices.
+        senders: Vec<usize>,
+        /// Payloads queued per sender.
+        messages_per_sender: u64,
+    },
+    /// The Decay fixed-probability baseline; every sender gets one
+    /// broadcast input at round 1.
+    Decay {
+        /// Broadcasting vertices.
+        senders: Vec<usize>,
+    },
+    /// A uniform fixed-probability baseline.
+    Uniform {
+        /// Per-round transmit probability.
+        p: f64,
+        /// Broadcasting vertices.
+        senders: Vec<usize>,
+    },
+    /// Flood broadcast over the `LBAlg`-backed abstract MAC layer (E11).
+    /// Supports only oblivious adversaries and an empty fault plan (the
+    /// MAC adapter drives its own engine).
+    AmacFlood {
+        /// Error parameter ε₁ of the underlying `LBAlg`.
+        epsilon1: f64,
+        /// Flood source vertices.
+        sources: Vec<usize>,
+    },
+}
+
+impl WorkloadSpec {
+    /// A short name for report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadSpec::SeedAgreement { .. } => "seed-agreement",
+            WorkloadSpec::LocalBroadcast { .. } => "local-broadcast",
+            WorkloadSpec::Decay { .. } => "decay",
+            WorkloadSpec::Uniform { .. } => "uniform",
+            WorkloadSpec::AmacFlood { .. } => "amac-flood",
+        }
+    }
+
+    fn senders(&self) -> &[usize] {
+        match self {
+            WorkloadSpec::SeedAgreement { .. } => &[],
+            WorkloadSpec::LocalBroadcast { senders, .. }
+            | WorkloadSpec::Decay { senders }
+            | WorkloadSpec::Uniform { senders, .. } => senders,
+            WorkloadSpec::AmacFlood { sources, .. } => sources,
+        }
+    }
+
+    fn validate(&self, n: usize) -> Result<(), ScenarioError> {
+        let check_eps = |eps: f64| {
+            if eps > 0.0 && eps < 1.0 {
+                Ok(())
+            } else {
+                Err(invalid(format!(
+                    "workload: epsilon1 must be in (0, 1), got {eps}"
+                )))
+            }
+        };
+        for &s in self.senders() {
+            if s >= n {
+                return Err(invalid(format!(
+                    "workload: sender {s} out of range for {n} vertices"
+                )));
+            }
+        }
+        match *self {
+            WorkloadSpec::SeedAgreement {
+                epsilon1,
+                seed_bits,
+            } => {
+                check_eps(epsilon1)?;
+                if seed_bits == 0 {
+                    return Err(invalid("workload: seed_bits must be >= 1"));
+                }
+                Ok(())
+            }
+            WorkloadSpec::LocalBroadcast {
+                epsilon1,
+                ref senders,
+                messages_per_sender,
+            } => {
+                check_eps(epsilon1)?;
+                if senders.is_empty() {
+                    return Err(invalid("workload: local broadcast needs >= 1 sender"));
+                }
+                if messages_per_sender == 0 {
+                    return Err(invalid("workload: messages_per_sender must be >= 1"));
+                }
+                if messages_per_sender > 1_000_000 {
+                    return Err(invalid(format!(
+                        "workload: messages_per_sender must be <= 1000000, \
+                         got {messages_per_sender}"
+                    )));
+                }
+                Ok(())
+            }
+            WorkloadSpec::Decay { ref senders } => {
+                if senders.is_empty() {
+                    return Err(invalid("workload: decay needs >= 1 sender"));
+                }
+                Ok(())
+            }
+            WorkloadSpec::Uniform { p, ref senders } => {
+                if senders.is_empty() {
+                    return Err(invalid("workload: uniform needs >= 1 sender"));
+                }
+                if p > 0.0 && p <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(invalid(format!(
+                        "workload: uniform probability must be in (0, 1], got {p}"
+                    )))
+                }
+            }
+            WorkloadSpec::AmacFlood {
+                epsilon1,
+                ref sources,
+            } => {
+                check_eps(epsilon1)?;
+                if sources.is_empty() {
+                    return Err(invalid("workload: amac flood needs >= 1 source"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// When a trial ends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StopSpec {
+    /// Run exactly this many rounds.
+    Rounds {
+        /// Round budget.
+        rounds: u64,
+    },
+    /// Run this many workload phases (`LBAlg`/`SeedAlg` phase length;
+    /// 128 rounds per "phase" for the fixed-schedule baselines).
+    Phases {
+        /// Phase budget.
+        phases: u64,
+    },
+    /// Run the workload's natural horizon: `SeedAlg`'s full schedule;
+    /// `t_ack + t_prog` per queued message for `LBAlg`; 1024 rounds for
+    /// the baselines; `f_ack · (n + 4) · 2` for the MAC flood.
+    Complete,
+    /// Run until `node` first outputs a delivery (a `recv` for broadcast
+    /// workloads, a `decide` for seed agreement), censored at the
+    /// horizon.
+    FirstDeliveryAt {
+        /// The watched vertex.
+        node: usize,
+        /// Censoring horizon in rounds.
+        horizon_rounds: u64,
+    },
+}
+
+/// Upper bound on explicit round budgets — large enough for any real
+/// campaign, small enough that horizon arithmetic cannot overflow and a
+/// typo cannot request an effectively unbounded run.
+pub const MAX_STOP_ROUNDS: u64 = 50_000_000;
+
+/// Upper bound on explicit phase budgets (phases are multiplied by the
+/// workload's phase length at run time).
+pub const MAX_STOP_PHASES: u64 = 1_000_000;
+
+impl StopSpec {
+    fn validate(&self, n: usize) -> Result<(), ScenarioError> {
+        let check_rounds = |what: &str, r: u64| {
+            if r == 0 {
+                Err(invalid(format!("stop: {what} must be >= 1")))
+            } else if r > MAX_STOP_ROUNDS {
+                Err(invalid(format!(
+                    "stop: {what} must be <= {MAX_STOP_ROUNDS}, got {r}"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            StopSpec::Rounds { rounds } => check_rounds("rounds", rounds),
+            StopSpec::Phases { phases } => {
+                if phases == 0 {
+                    Err(invalid("stop: phases must be >= 1"))
+                } else if phases > MAX_STOP_PHASES {
+                    Err(invalid(format!(
+                        "stop: phases must be <= {MAX_STOP_PHASES}, got {phases}"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            StopSpec::FirstDeliveryAt {
+                node,
+                horizon_rounds,
+            } => {
+                if node >= n {
+                    Err(invalid(format!(
+                        "stop: watched node {node} out of range for {n} vertices"
+                    )))
+                } else {
+                    check_rounds("horizon_rounds", horizon_rounds)
+                }
+            }
+            StopSpec::Complete => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario
+// ---------------------------------------------------------------------------
+
+/// A complete scenario description. See the module docs; construct via
+/// [`ScenarioBuilder`] or [`Scenario::from_json`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Identifier (registry key / report caption).
+    pub name: String,
+    /// Human description of what the scenario exercises.
+    pub description: String,
+    /// The network family.
+    pub topology: TopologySpec,
+    /// The dual-graph adversary schedule.
+    pub adversary: AdversarySpec,
+    /// Injected faults (churn, jamming, drop bursts).
+    pub faults: FaultPlanSpec,
+    /// What runs on the network.
+    pub workload: WorkloadSpec,
+    /// When each trial ends.
+    pub stop: StopSpec,
+    /// Monte-Carlo trial count.
+    pub trials: usize,
+    /// Master seed of trial 0; trial `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Scenario {
+    /// Validates every field (including resolving the fault plan against
+    /// the built topology).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint violation found.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.name.is_empty() {
+            return Err(invalid("name must be non-empty"));
+        }
+        if self.trials == 0 {
+            return Err(invalid("trials must be >= 1"));
+        }
+        self.topology.validate()?;
+        self.adversary.validate()?;
+        let n = self.topology.node_count();
+        self.workload.validate(n)?;
+        self.stop.validate(n)?;
+        self.faults.validate(n)?;
+        if let WorkloadSpec::AmacFlood { .. } = self.workload {
+            if !self.faults.is_empty() {
+                return Err(invalid(
+                    "amac flood drives its own engine and does not support fault plans",
+                ));
+            }
+            if self.adversary.is_adaptive() {
+                return Err(invalid(
+                    "amac flood supports only oblivious adversaries",
+                ));
+            }
+            if matches!(self.stop, StopSpec::FirstDeliveryAt { .. }) {
+                return Err(invalid(
+                    "amac flood does not support the first-delivery stop condition",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to pretty-printed JSON (the on-disk scenario format).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("scenarios always serialize");
+        s.push('\n');
+        s
+    }
+
+    /// Parses and validates a scenario from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Parse`] on malformed JSON and
+    /// [`ScenarioError::Invalid`] on a well-formed but invalid scenario.
+    pub fn from_json(json: &str) -> Result<Self, ScenarioError> {
+        let scenario: Scenario =
+            serde_json::from_str(json).map_err(|e| ScenarioError::Parse(e.to_string()))?;
+        scenario.validate()?;
+        Ok(scenario)
+    }
+}
+
+/// Step-by-step construction of a [`Scenario`] with validation at
+/// [`ScenarioBuilder::build`] time.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Starts a scenario with the given name, topology, and workload.
+    /// Defaults: no description, the all-edges adversary, no faults, the
+    /// `Complete` stop condition, 4 trials, base seed 1.
+    pub fn new(
+        name: impl Into<String>,
+        topology: TopologySpec,
+        workload: WorkloadSpec,
+    ) -> Self {
+        ScenarioBuilder {
+            scenario: Scenario {
+                name: name.into(),
+                description: String::new(),
+                topology,
+                adversary: AdversarySpec::AllExtraEdges,
+                faults: FaultPlanSpec::default(),
+                workload,
+                stop: StopSpec::Complete,
+                trials: 4,
+                base_seed: 1,
+            },
+        }
+    }
+
+    /// Sets the human description.
+    pub fn description(mut self, d: impl Into<String>) -> Self {
+        self.scenario.description = d.into();
+        self
+    }
+
+    /// Sets the adversary schedule.
+    pub fn adversary(mut self, a: AdversarySpec) -> Self {
+        self.scenario.adversary = a;
+        self
+    }
+
+    /// Adds a crash/recover event.
+    pub fn crash(mut self, node: usize, down_from: u64, up_at: Option<u64>) -> Self {
+        self.scenario.faults.crashes.push(CrashSpec {
+            node,
+            down_from,
+            up_at,
+        });
+        self
+    }
+
+    /// Adds a jamming window over an explicit node set.
+    pub fn jam_nodes(mut self, nodes: Vec<usize>, from: u64, to: u64) -> Self {
+        self.scenario.faults.jams.push(JamSpec {
+            region: RegionSpec::Nodes { nodes },
+            from,
+            to,
+        });
+        self
+    }
+
+    /// Adds a jamming window over a disc in the embedding.
+    pub fn jam_disc(mut self, x: f64, y: f64, radius: f64, from: u64, to: u64) -> Self {
+        self.scenario.faults.jams.push(JamSpec {
+            region: RegionSpec::Disc { x, y, radius },
+            from,
+            to,
+        });
+        self
+    }
+
+    /// Adds a message-drop burst.
+    pub fn drop_burst(mut self, from: u64, to: u64, p: f64) -> Self {
+        self.scenario.faults.drops.push(DropSpec { from, to, p });
+        self
+    }
+
+    /// Sets the stop condition.
+    pub fn stop(mut self, s: StopSpec) -> Self {
+        self.scenario.stop = s;
+        self
+    }
+
+    /// Sets the trial count.
+    pub fn trials(mut self, t: usize) -> Self {
+        self.scenario.trials = t;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn base_seed(mut self, s: u64) -> Self {
+        self.scenario.base_seed = s;
+        self
+    }
+
+    /// Validates and returns the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint violation (see [`Scenario::validate`]).
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        self.scenario.validate()?;
+        Ok(self.scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> ScenarioBuilder {
+        ScenarioBuilder::new(
+            "t",
+            TopologySpec::Clique { n: 4, r: 1.0 },
+            WorkloadSpec::LocalBroadcast {
+                epsilon1: 0.25,
+                senders: vec![0],
+                messages_per_sender: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn builder_produces_valid_scenario() {
+        let s = minimal()
+            .description("demo")
+            .adversary(AdversarySpec::Bernoulli { p: 0.5 })
+            .crash(1, 3, Some(9))
+            .jam_nodes(vec![2], 2, 5)
+            .drop_burst(1, 4, 0.25)
+            .stop(StopSpec::Phases { phases: 2 })
+            .trials(2)
+            .base_seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(s.trials, 2);
+        assert!(!s.faults.is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_scenario() {
+        let s = minimal()
+            .adversary(AdversarySpec::EpochRandom { epoch: 8, p: 0.3 })
+            .jam_disc(0.0, 0.0, 0.6, 4, 9)
+            .build()
+            .unwrap();
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn rejects_out_of_range_sender() {
+        let err = ScenarioBuilder::new(
+            "t",
+            TopologySpec::Clique { n: 4, r: 1.0 },
+            WorkloadSpec::LocalBroadcast {
+                epsilon1: 0.25,
+                senders: vec![9],
+                messages_per_sender: 1,
+            },
+        )
+        .build()
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_probabilities_and_windows() {
+        assert!(minimal()
+            .adversary(AdversarySpec::Bernoulli { p: 1.5 })
+            .build()
+            .is_err());
+        assert!(minimal().drop_burst(5, 2, 0.5).build().is_err());
+        assert!(minimal().crash(0, 0, None).build().is_err());
+        assert!(minimal().trials(0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_amac_flood_with_faults_or_jammer() {
+        let flood = |b: ScenarioBuilder| {
+            let mut s = b;
+            s.scenario.workload = WorkloadSpec::AmacFlood {
+                epsilon1: 0.25,
+                sources: vec![0],
+            };
+            s
+        };
+        assert!(flood(minimal()).build().is_ok());
+        assert!(flood(minimal().crash(0, 1, None)).build().is_err());
+        assert!(flood(minimal().adversary(AdversarySpec::GreedyJammer))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn disc_region_resolves_against_embedding() {
+        let topo = TopologySpec::Line {
+            n: 5,
+            spacing: 1.0,
+            r: 2.0,
+        }
+        .build();
+        let region = RegionSpec::Disc {
+            x: 2.0,
+            y: 0.0,
+            radius: 1.1,
+        };
+        let nodes = region.resolve(&topo);
+        assert_eq!(nodes, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn node_counts_match_built_topologies() {
+        let specs = vec![
+            TopologySpec::Line {
+                n: 5,
+                spacing: 0.9,
+                r: 2.0,
+            },
+            TopologySpec::Ring {
+                n: 6,
+                spacing: 0.9,
+                r: 2.0,
+            },
+            TopologySpec::Grid {
+                rows: 3,
+                cols: 4,
+                spacing: 0.9,
+                r: 2.0,
+            },
+            TopologySpec::Clique { n: 7, r: 1.0 },
+            TopologySpec::GreySandwich {
+                reliable: 2,
+                grey: 5,
+                r: 2.0,
+            },
+            TopologySpec::PumpArena {
+                reliable: 1,
+                grey: 6,
+            },
+            TopologySpec::TwoTier {
+                core: 3,
+                periphery: 4,
+                ring_radius: 1.5,
+                r: 2.0,
+            },
+            TopologySpec::Clustered {
+                clusters: 2,
+                cluster_size: 3,
+                spacing: 1.5,
+                spread: 0.4,
+                r: 2.0,
+                seed: 1,
+            },
+            TopologySpec::RandomGeometric {
+                n: 12,
+                side: 3.0,
+                r: 2.0,
+                grey_reliable_p: 0.1,
+                grey_unreliable_p: 0.8,
+                seed: 2,
+            },
+            TopologySpec::ConstantDensity {
+                n: 16,
+                density: 8.0,
+                r: 1.5,
+                seed: 3,
+            },
+        ];
+        for spec in specs {
+            spec.validate().unwrap();
+            let topo = spec.build();
+            assert_eq!(topo.graph.len(), spec.node_count(), "{spec:?}");
+            topo.check_geographic().unwrap();
+        }
+    }
+}

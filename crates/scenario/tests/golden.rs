@@ -1,0 +1,58 @@
+//! Golden-file tests: the checked-in `scenarios/*.json` files stay in
+//! sync with the registry and always load.
+
+use scenario::{registry, Scenario};
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn churn_golden_file_matches_registry() {
+    let golden = std::fs::read_to_string(scenarios_dir().join("churn.json"))
+        .expect("scenarios/churn.json is checked in");
+    let registered = registry::find("churn").expect("churn is registered");
+    assert_eq!(
+        registered.to_json(),
+        golden,
+        "scenarios/churn.json diverged from the registry; regenerate with \
+         `cargo run -p bench --bin scenario -- churn --export scenarios/churn.json`"
+    );
+}
+
+#[test]
+fn every_checked_in_scenario_loads_and_validates() {
+    let dir = scenarios_dir();
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("scenarios/ directory exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let data = std::fs::read_to_string(&path).expect("readable scenario file");
+        let s = Scenario::from_json(&data)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(!s.name.is_empty());
+        seen += 1;
+    }
+    assert!(
+        seen >= 3,
+        "expected the churn/jamming/drop-burst scenario files, found {seen}"
+    );
+}
+
+#[test]
+fn fault_scenario_files_match_their_registry_entries() {
+    for (file, name) in [
+        ("churn.json", "churn"),
+        ("jamming_window.json", "jamming-window"),
+        ("drop_burst.json", "drop-burst"),
+    ] {
+        let data = std::fs::read_to_string(scenarios_dir().join(file))
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
+        let from_file = Scenario::from_json(&data).unwrap();
+        let registered = registry::find(name).unwrap();
+        assert_eq!(from_file, registered, "{file} diverged from registry {name}");
+    }
+}

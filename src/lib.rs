@@ -18,6 +18,8 @@
 //!   paper's discussion contrasts against.
 //! * [`analysis`] — Monte-Carlo trial running and statistics for the
 //!   experiment suite.
+//! * [`scenario`] — declarative scenario & fault-injection subsystem:
+//!   serde scenario files, the named registry, and the scenario runner.
 
 #![forbid(unsafe_code)]
 
@@ -26,4 +28,5 @@ pub use analysis;
 pub use baselines;
 pub use local_broadcast;
 pub use radio_sim;
+pub use scenario;
 pub use seed_agreement;

@@ -53,3 +53,8 @@ fn adversarial_decay_runs() {
 fn amac_multimessage_runs() {
     run_example("amac_multimessage");
 }
+
+#[test]
+fn scenario_file_demo_runs() {
+    run_example("scenario_file_demo");
+}
