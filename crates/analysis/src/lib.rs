@@ -9,6 +9,8 @@
 //!   log-scaling fits used to verify asymptotic *shape*.
 //! * [`runner`] — embarrassingly parallel trial execution.
 //! * [`table`] — experiment output as aligned text / markdown / CSV.
+//! * [`report`] — combined markdown reports and the tolerance-aware
+//!   comparison behind golden-metric regression gates.
 //! * [`experiments`] — the E1–E12 suite, each returning [`table::Table`]s
 //!   that the `bench` crate's binaries print and EXPERIMENTS.md records.
 
@@ -16,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod report;
 pub mod runner;
 pub mod stats;
 pub mod table;

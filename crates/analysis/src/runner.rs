@@ -1,52 +1,88 @@
-//! Parallel Monte-Carlo trial execution.
+//! Parallel Monte-Carlo job execution.
 //!
 //! Trials are pure functions of their trial index (every simulation is
 //! fully determined by its master seed, derived from the index), so the
 //! runner is embarrassingly parallel and its output is identical to a
 //! sequential run regardless of thread count.
+//!
+//! [`run_jobs`] is the general pool: `jobs` independent evaluations of
+//! `f(index)` fanned across cores. [`run_trials`] layers the seed
+//! derivation convention on top — the seed for trial `i` is
+//! `base_seed.wrapping_add(i)`, and campaign runners flatten
+//! *(scenario, trial)* pairs into one [`run_jobs`] call so scenarios
+//! parallelize as well as trials.
 
 use parking_lot::Mutex;
 
-/// Runs `trials` independent evaluations of `f` (given the trial's master
-/// seed) across available cores, returning results ordered by trial
-/// index.
-///
-/// The seed for trial `i` is `base_seed + i`, so disjoint experiments
-/// should use well-separated `base_seed`s.
-pub fn run_trials<T, F>(trials: usize, base_seed: u64, f: F) -> Vec<T>
+/// Runs `jobs` independent evaluations of `f` (given the job index)
+/// across available cores, returning results ordered by job index.
+pub fn run_jobs<T, F>(jobs: usize, f: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(u64) -> T + Sync,
+    F: Fn(usize) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(trials.max(1));
-    if threads <= 1 || trials <= 1 {
-        return (0..trials).map(|i| f(base_seed + i as u64)).collect();
+    run_jobs_on(jobs, None, f)
+}
+
+/// Like [`run_jobs`], but with an explicit worker-thread cap. `None`
+/// uses the available parallelism; `Some(1)` forces a sequential run
+/// (useful for asserting thread-count independence). The result is
+/// identical either way: results are slotted by index, not by
+/// completion order.
+pub fn run_jobs_on<T, F>(jobs: usize, threads: Option<usize>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+        .min(jobs.max(1));
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
     }
 
     let results: Mutex<Vec<Option<T>>> =
-        Mutex::new((0..trials).map(|_| None).collect());
+        Mutex::new((0..jobs).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
     crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= trials {
+                if i >= jobs {
                     break;
                 }
-                let out = f(base_seed + i as u64);
+                let out = f(i);
                 results.lock()[i] = Some(out);
             });
         }
     })
-    .expect("trial worker panicked");
+    .expect("job worker panicked");
     results
         .into_inner()
         .into_iter()
-        .map(|r| r.expect("all trials completed"))
+        .map(|r| r.expect("all jobs completed"))
         .collect()
+}
+
+/// Runs `trials` independent evaluations of `f` (given the trial's master
+/// seed) across available cores, returning results ordered by trial
+/// index.
+///
+/// The seed for trial `i` is `base_seed.wrapping_add(i)` — wrapping, so
+/// a base seed near `u64::MAX` is legal and the parallel, sequential,
+/// and single-trial replay paths always agree on the derivation.
+/// Disjoint experiments should use well-separated `base_seed`s.
+pub fn run_trials<T, F>(trials: usize, base_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    run_jobs(trials, |i| f(base_seed.wrapping_add(i as u64)))
 }
 
 #[cfg(test)]
@@ -81,5 +117,32 @@ mod tests {
         let par = run_trials(40, 5, work);
         let seq: Vec<u64> = (0..40).map(|i| work(5 + i as u64)).collect();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn seed_derivation_wraps_at_u64_max() {
+        // Regression: `base_seed + i` used to overflow (panic in debug)
+        // for base seeds near u64::MAX; derivation must wrap instead,
+        // identically on the parallel and sequential paths.
+        let out = run_trials(4, u64::MAX, |seed| seed);
+        assert_eq!(out, vec![u64::MAX, 0, 1, 2]);
+        let out = run_trials(3, u64::MAX - 1, |seed| seed);
+        assert_eq!(out, vec![u64::MAX - 1, u64::MAX, 0]);
+    }
+
+    #[test]
+    fn job_results_are_thread_count_independent() {
+        let work = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let one = run_jobs_on(33, Some(1), work);
+        let four = run_jobs_on(33, Some(4), work);
+        let auto = run_jobs(33, work);
+        assert_eq!(one, four);
+        assert_eq!(one, auto);
+    }
+
+    #[test]
+    fn oversubscribed_thread_request_is_clamped() {
+        let out = run_jobs_on(3, Some(64), |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
     }
 }

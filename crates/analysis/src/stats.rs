@@ -22,6 +22,23 @@ pub struct Summary {
 }
 
 impl Summary {
+    /// Summarizes a sample, or `None` for an empty one.
+    ///
+    /// Prefer this at call sites where a measurement can legitimately be
+    /// absent (e.g. a scenario whose fault plan suppresses every ack):
+    /// render the absence (`—`) instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values.
+    pub fn try_of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            None
+        } else {
+            Some(Self::of(values))
+        }
+    }
+
     /// Summarizes a sample.
     ///
     /// # Panics
@@ -204,5 +221,12 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn summary_rejects_empty() {
         let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn try_of_is_total() {
+        assert_eq!(Summary::try_of(&[]), None);
+        let s = Summary::try_of(&[2.0, 4.0]).expect("non-empty");
+        assert!((s.mean - 3.0).abs() < 1e-12);
     }
 }

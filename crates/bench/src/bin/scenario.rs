@@ -1,11 +1,18 @@
 //! Run a declarative scenario — a registry name or a JSON file — and
-//! print experiment-style stats tables.
+//! print experiment-style stats tables; or run a whole **campaign**
+//! with the golden-metric regression gate.
 //!
 //! ```text
 //! scenario --list
 //! scenario <name | file.json> [--trials N] [--seed S]
 //!          [--save-trace PATH]   # trial 0's full trace as JSON
 //!          [--export PATH]       # write the scenario itself as JSON
+//! scenario campaign [name | set.json ...]
+//!          [--out PATH]          # combined markdown report
+//!          [--golden DIR]        # golden dir (default scenarios/golden)
+//!          [--check]             # diff against blessed metrics; exit 1 on drift
+//!          [--bless]             # regenerate the golden files
+//!          [--trials N] [--threads N]
 //! ```
 //!
 //! Examples:
@@ -14,14 +21,24 @@
 //! cargo run --release -p bench --bin scenario -- e4
 //! cargo run --release -p bench --bin scenario -- churn --trials 2
 //! cargo run --release -p bench --bin scenario -- scenarios/drop_burst.json
+//! cargo run --release -p bench --bin scenario -- campaign --out CAMPAIGN.md
+//! cargo run --release -p bench --bin scenario -- campaign e5 drop-burst --check
+//! cargo run --release -p bench --bin scenario -- campaign --bless
 //! ```
 
-use scenario::{registry, Scenario, ScenarioRunner};
+use scenario::{registry, Campaign, GoldenMetrics, Scenario, ScenarioRunner};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// Default directory for blessed golden-metric files.
+const GOLDEN_DIR: &str = "scenarios/golden";
+
 fn usage() -> String {
-    "usage: scenario --list\n       scenario <name | file.json> [--trials N] [--seed S] \
-     [--save-trace PATH] [--export PATH]"
+    "usage: scenario --list\n       \
+     scenario <name | file.json> [--trials N] [--seed S] \
+     [--save-trace PATH] [--export PATH]\n       \
+     scenario campaign [name | set.json ...] [--out PATH] [--golden DIR] \
+     [--check | --bless] [--trials N] [--threads N]"
         .to_string()
 }
 
@@ -32,11 +49,58 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
         .cloned()
 }
 
+/// One pass over `args`: every flag must be a member of `valued` or
+/// `boolean` (valued flags must have a value that is not itself a
+/// flag, so a flag token is never interpreted as both a value here and
+/// a flag by a later `arg_value` scan), everything else is a
+/// positional. Returns the positionals in order.
+fn parse_positionals(
+    args: &[String],
+    valued: &[&str],
+    boolean: &[&str],
+) -> Result<Vec<String>, String> {
+    let mut positionals = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if valued.contains(&a.as_str()) {
+            if args.get(i + 1).is_none_or(|v| v.starts_with("--")) {
+                return Err(format!("{a} needs a value\n{}", usage()));
+            }
+            i += 2;
+        } else if boolean.contains(&a.as_str()) {
+            i += 1;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag {a}\n{}", usage()));
+        } else {
+            positionals.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok(positionals)
+}
+
+/// Parses a `>= 1` count flag (`--trials`, `--threads`).
+fn parse_count(args: &[String], flag: &str) -> Result<Option<usize>, String> {
+    match arg_value(args, flag) {
+        None => Ok(None),
+        Some(t) => {
+            let count: usize = t
+                .parse()
+                .map_err(|e| format!("{flag} {t}: not a count ({e})"))?;
+            if count == 0 {
+                return Err(format!("{flag} must be >= 1"));
+            }
+            Ok(Some(count))
+        }
+    }
+}
+
 fn load(selector: &str) -> Result<Scenario, String> {
     if let Some(s) = registry::find(selector) {
         return Ok(s);
     }
-    if selector.ends_with(".json") || std::path::Path::new(selector).exists() {
+    if selector.ends_with(".json") || Path::new(selector).exists() {
         let data = std::fs::read_to_string(selector)
             .map_err(|e| format!("cannot read scenario file {selector}: {e}"))?;
         return Scenario::from_json(&data)
@@ -47,49 +111,29 @@ fn load(selector: &str) -> Result<Scenario, String> {
     ))
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        return Err(usage());
-    }
-    if args.iter().any(|a| a == "--list") {
-        println!("registered scenarios:");
-        for s in registry::all() {
-            println!("  {:<16} {}", s.name, s.description);
-        }
-        return Ok(());
-    }
+// ---------------------------------------------------------------------
+// Single-scenario mode
+// ---------------------------------------------------------------------
 
-    // One pass over the arguments: exactly one positional selector;
-    // every flag must be known, and valued flags must have a value.
-    const VALUED_FLAGS: [&str; 4] = ["--trials", "--seed", "--save-trace", "--export"];
-    let mut selector: Option<String> = None;
-    let mut i = 0;
-    while i < args.len() {
-        let a = &args[i];
-        if VALUED_FLAGS.contains(&a.as_str()) {
-            if i + 1 >= args.len() {
-                return Err(format!("{a} needs a value\n{}", usage()));
-            }
-            i += 2;
-        } else if a.starts_with("--") {
-            return Err(format!("unknown flag {a}\n{}", usage()));
-        } else if selector.is_some() {
-            return Err(format!("unexpected extra argument {a:?}\n{}", usage()));
-        } else {
-            selector = Some(a.clone());
-            i += 1;
+fn run_single(args: &[String]) -> Result<ExitCode, String> {
+    let positionals = parse_positionals(
+        args,
+        &["--trials", "--seed", "--save-trace", "--export"],
+        &[],
+    )?;
+    let selector = match positionals.as_slice() {
+        [one] => one,
+        [] => return Err(usage()),
+        [_, extra, ..] => {
+            return Err(format!("unexpected extra argument {extra:?}\n{}", usage()))
         }
-    }
-    let selector = &selector.ok_or_else(usage)?;
+    };
 
     let mut scenario = load(selector)?;
-    if let Some(t) = arg_value(&args, "--trials") {
-        scenario.trials = t
-            .parse()
-            .map_err(|e| format!("--trials {t}: not a count ({e})"))?;
+    if let Some(trials) = parse_count(args, "--trials")? {
+        scenario.trials = trials;
     }
-    if let Some(s) = arg_value(&args, "--seed") {
+    if let Some(s) = arg_value(args, "--seed") {
         scenario.base_seed = s
             .parse()
             .map_err(|e| format!("--seed {s}: not a u64 ({e})"))?;
@@ -98,7 +142,7 @@ fn run() -> Result<(), String> {
     // Validate (ScenarioRunner::new) before exporting, so --export can
     // never leave behind a file the loader itself would reject.
     let runner = ScenarioRunner::new(scenario).map_err(|e| e.to_string())?;
-    if let Some(path) = arg_value(&args, "--export") {
+    if let Some(path) = arg_value(args, "--export") {
         std::fs::write(&path, runner.scenario().to_json())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("exported scenario to {path}");
@@ -119,7 +163,7 @@ fn run() -> Result<(), String> {
         eprintln!("   {}", s.description);
     }
 
-    let save_trace = arg_value(&args, "--save-trace");
+    let save_trace = arg_value(args, "--save-trace");
     let start = std::time::Instant::now();
     let (report, trace) = match &save_trace {
         // Capture trial 0's trace from the same execution rather than
@@ -139,12 +183,174 @@ fn run() -> Result<(), String> {
         std::fs::write(&path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("saved trial-0 trace ({} bytes) to {path}", json.len());
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------
+// Campaign mode
+// ---------------------------------------------------------------------
+
+/// Resolves campaign selectors: each positional is a registry name, or a
+/// `.json` file holding an array of registry names (a pinned subset).
+/// No selectors = the whole registry.
+fn campaign_scenarios(selectors: &[String]) -> Result<Vec<String>, String> {
+    if selectors.is_empty() {
+        return Ok(registry::names());
+    }
+    let mut names = Vec::new();
+    for sel in selectors {
+        if sel.ends_with(".json") {
+            let data = std::fs::read_to_string(sel)
+                .map_err(|e| format!("cannot read scenario set {sel}: {e}"))?;
+            let listed: Vec<String> = serde_json::from_str(&data)
+                .map_err(|e| format!("scenario set {sel}: expected a JSON array of names ({e})"))?;
+            names.extend(listed);
+        } else {
+            names.push(sel.clone());
+        }
+    }
+    Ok(names)
+}
+
+fn golden_path(dir: &Path, scenario: &str) -> PathBuf {
+    dir.join(format!("{scenario}.json"))
+}
+
+fn run_campaign(args: &[String]) -> Result<ExitCode, String> {
+    let selectors = parse_positionals(
+        args,
+        &["--trials", "--threads", "--golden", "--out"],
+        &["--check", "--bless"],
+    )?;
+    let check = args.iter().any(|a| a == "--check");
+    let bless = args.iter().any(|a| a == "--bless");
+    if check && bless {
+        return Err(format!("--check and --bless are mutually exclusive\n{}", usage()));
+    }
+    let trials = parse_count(args, "--trials")?;
+    if (bless || check) && trials.is_some() {
+        // A golden file pins means over the *registry* trial count:
+        // blessing an overridden count would poison every later check,
+        // and checking with one would only manufacture config-drift
+        // rows. Reject the combination upfront instead.
+        return Err(format!(
+            "--{} does not take --trials (goldens pin the registry trial counts)",
+            if bless { "bless" } else { "check" }
+        ));
+    }
+    let golden_dir = PathBuf::from(
+        arg_value(args, "--golden").unwrap_or_else(|| GOLDEN_DIR.to_string()),
+    );
+    let threads = parse_count(args, "--threads")?;
+
+    let names = campaign_scenarios(&selectors)?;
+    let mut scenarios = Vec::new();
+    for name in &names {
+        let mut s = registry::find(name).ok_or_else(|| {
+            format!("unknown registry scenario {name:?} (see scenario --list)")
+        })?;
+        if let Some(t) = trials {
+            s.trials = t;
+        }
+        scenarios.push(s);
+    }
+    let mut campaign = Campaign::new(scenarios).map_err(|e| e.to_string())?;
+    if let Some(t) = threads {
+        campaign = campaign.threads(t);
+    }
+
+    let total: usize = campaign.scenarios().map(|s| s.trials).sum();
+    eprintln!(
+        "== campaign: {} scenario(s), {total} trial(s) ==",
+        names.len()
+    );
+    let start = std::time::Instant::now();
+    let report = campaign.run();
+    eprintln!("   ({:.1?})", start.elapsed());
+    println!("{}", report.overview());
+
+    if let Some(path) = arg_value(args, "--out") {
+        std::fs::write(&path, report.to_markdown())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote combined report to {path}");
+    }
+
+    if bless {
+        std::fs::create_dir_all(&golden_dir)
+            .map_err(|e| format!("cannot create {}: {e}", golden_dir.display()))?;
+        for golden in report.golden() {
+            let path = golden_path(&golden_dir, &golden.scenario);
+            std::fs::write(&path, golden.to_json())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("blessed {}", path.display());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if check {
+        // Load golden files only for the scenarios this campaign ran, so
+        // pinned subsets check cleanly against a full golden directory.
+        let mut golden = Vec::new();
+        for r in &report.reports {
+            let path = golden_path(&golden_dir, &r.scenario.name);
+            match std::fs::read_to_string(&path) {
+                Ok(data) => golden.push(
+                    GoldenMetrics::from_json(&data)
+                        .map_err(|e| format!("{}: {e}", path.display()))?,
+                ),
+                // Missing file: leave no entry; the check reports it as
+                // a failing `golden file` row with the path in hand.
+                Err(_) => eprintln!(
+                    "no golden metrics at {} (bless with `scenario campaign --bless`)",
+                    path.display()
+                ),
+            }
+        }
+        let check = report.check(&golden);
+        println!("{}", check.table());
+        return if check.passed() {
+            eprintln!("golden check passed: {} comparison(s) ok", check.rows.len());
+            Ok(ExitCode::SUCCESS)
+        } else {
+            eprintln!(
+                "golden check FAILED: {} of {} comparison(s) drifted",
+                check.failures().count(),
+                check.rows.len()
+            );
+            Ok(ExitCode::from(1))
+        };
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        return Err(usage());
+    }
+    // `--list` is a command, not a flag: honor it only in first
+    // position so a stray `--list` among campaign flags cannot swallow
+    // a `--check` run and exit 0 without running the gate (the mode
+    // parsers reject it as an unknown flag instead).
+    match args.first().map(String::as_str) {
+        Some("--list") => {
+            if let Some(extra) = args.get(1) {
+                return Err(format!("--list takes no arguments, got {extra:?}\n{}", usage()));
+            }
+            println!("registered scenarios:");
+            for s in registry::all() {
+                println!("  {:<16} {}", s.name, s.description);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("campaign") => run_campaign(&args[1..]),
+        _ => run_single(&args),
+    }
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::from(2)

@@ -16,6 +16,11 @@
 //! * [`runner`] — the [`ScenarioRunner`](runner::ScenarioRunner),
 //!   compiling a scenario into configured `radio-sim` executions, fanning
 //!   trials across cores, and aggregating experiment-style stats tables.
+//! * [`campaign`] — the [`Campaign`](campaign::Campaign) batch runner
+//!   (every registry entry, or a subset, fanned out across scenarios as
+//!   well as trials), its combined markdown report, and the
+//!   golden-metric regression gate
+//!   ([`GoldenMetrics`](campaign::GoldenMetrics), `scenarios/golden/`).
 //!
 //! Scenarios serialize to JSON (`Scenario::to_json` /
 //! `Scenario::from_json`); the `scenario` binary in the `bench` crate
@@ -46,10 +51,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod registry;
 pub mod runner;
 pub mod spec;
 
+pub use campaign::{Campaign, CampaignReport, CheckReport, GoldenMetric, GoldenMetrics};
 pub use runner::{ScenarioReport, ScenarioRunner, TrialOutcome};
 pub use spec::{
     AdversarySpec, FaultPlanSpec, RegionSpec, Scenario, ScenarioBuilder, ScenarioError, StopSpec,
@@ -58,6 +65,9 @@ pub use spec::{
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
+    pub use crate::campaign::{
+        Campaign, CampaignReport, CheckReport, GoldenMetric, GoldenMetrics, MetricCheck,
+    };
     pub use crate::registry;
     pub use crate::runner::{ScenarioReport, ScenarioRunner, TrialOutcome};
     pub use crate::spec::{

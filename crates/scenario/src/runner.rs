@@ -3,7 +3,8 @@
 //!
 //! The [`ScenarioRunner`] owns a validated scenario and its built
 //! topology. Each trial is a pure function of the trial's master seed
-//! (`base_seed + trial_index`), so trials fan out across cores through
+//! (`base_seed.wrapping_add(trial_index)` — wrapping, so seeds near
+//! `u64::MAX` are legal), so trials fan out across cores through
 //! [`analysis::runner::run_trials`] with results identical to a
 //! sequential run, and any single trial can be re-executed later — the
 //! serialized trace from [`ScenarioRunner::trial_trace_json`] is
@@ -52,6 +53,10 @@ pub struct TrialOutcome {
     pub recvs: usize,
     /// Channel totals summed over all rounds.
     pub totals: RoundStats,
+    /// Round of the first acknowledgment output, when one occurred (the
+    /// per-trial ack-latency measurement; `None` for ack-free workloads
+    /// such as seed agreement).
+    pub first_ack: Option<u64>,
     /// Round of the watched delivery (`FirstDeliveryAt` stop) or of the
     /// first delivery/completion otherwise, when one occurred.
     pub first_delivery: Option<u64>,
@@ -131,19 +136,27 @@ impl ScenarioReport {
             "mean/min/median/p95/max over trials",
             vec!["metric", "mean", "min", "median", "p95", "max"],
         );
+        // A metric with no observations (e.g. zero acks under a
+        // total jamming plan) renders as an em-dash row instead of
+        // being dropped — the table shape stays fixed and the empty
+        // sample never reaches `Summary::of`.
         let mut metric = |name: &str, values: Vec<f64>| {
-            if values.is_empty() {
-                return;
-            }
-            let sum = Summary::of(&values);
-            stats.push_row(vec![
-                name.into(),
-                fnum(sum.mean),
-                fnum(sum.min),
-                fnum(sum.median),
-                fnum(sum.p95),
-                fnum(sum.max),
-            ]);
+            let row = match Summary::try_of(&values) {
+                Some(sum) => vec![
+                    name.into(),
+                    fnum(sum.mean),
+                    fnum(sum.min),
+                    fnum(sum.median),
+                    fnum(sum.p95),
+                    fnum(sum.max),
+                ],
+                None => {
+                    let mut row = vec![name.to_string()];
+                    row.resize(6, "—".into());
+                    row
+                }
+            };
+            stats.push_row(row);
         };
         let of = |f: &dyn Fn(&TrialOutcome) -> f64| -> Vec<f64> {
             self.outcomes.iter().map(f).collect()
@@ -158,6 +171,13 @@ impl ScenarioReport {
         metric("jammed listens", of(&|o| o.totals.jammed as f64));
         metric("dropped receptions", of(&|o| o.totals.dropped as f64));
         metric("down node-rounds", of(&|o| o.totals.down as f64));
+        metric(
+            "first ack round",
+            self.outcomes
+                .iter()
+                .filter_map(|o| o.first_ack.map(|r| r as f64))
+                .collect(),
+        );
         metric(
             "first delivery round",
             self.outcomes
@@ -251,16 +271,17 @@ impl ScenarioRunner {
     }
 
     /// Runs the single trial with index `trial` (master seed
-    /// `base_seed + trial`).
+    /// `base_seed.wrapping_add(trial)`, matching the parallel path).
     pub fn run_trial(&self, trial: usize) -> TrialOutcome {
-        self.run_seeded(self.scenario.base_seed + trial as u64, false).0
+        self.run_seeded(self.scenario.base_seed.wrapping_add(trial as u64), false)
+            .0
     }
 
     /// Runs trial `trial` and returns its full execution trace as JSON.
     /// Identical `(scenario, trial)` pairs produce byte-identical JSON —
     /// the determinism contract replay tests assert.
     pub fn trial_trace_json(&self, trial: usize) -> String {
-        self.run_seeded(self.scenario.base_seed + trial as u64, true)
+        self.run_seeded(self.scenario.base_seed.wrapping_add(trial as u64), true)
             .1
             .expect("trace requested")
     }
@@ -355,6 +376,7 @@ impl ScenarioRunner {
             acks: 0,
             recvs: trace.outputs().count(),
             totals: trace.total_stats(),
+            first_ack: None,
             first_delivery: self.watched_delivery(trace, |_| true),
             stop_satisfied,
             max_owners,
@@ -409,6 +431,10 @@ impl ScenarioRunner {
             acks: trace.outputs().filter(|(_, _, o)| o.is_ack()).count(),
             recvs: trace.outputs().filter(|(_, _, o)| !o.is_ack()).count(),
             totals: trace.total_stats(),
+            first_ack: trace
+                .outputs()
+                .find(|(_, _, o)| o.is_ack())
+                .map(|(r, _, _)| r),
             first_delivery: self.watched_delivery(trace, |o: &LbOutput| !o.is_ack()),
             stop_satisfied,
             max_owners: None,
@@ -453,6 +479,10 @@ impl ScenarioRunner {
             acks: trace.outputs().filter(|(_, _, o)| o.is_ack()).count(),
             recvs: trace.outputs().filter(|(_, _, o)| !o.is_ack()).count(),
             totals: trace.total_stats(),
+            first_ack: trace
+                .outputs()
+                .find(|(_, _, o)| o.is_ack())
+                .map(|(r, _, _)| r),
             first_delivery: self.watched_delivery(trace, |o: &LbOutput| !o.is_ack()),
             stop_satisfied,
             max_owners: None,
@@ -490,6 +520,10 @@ impl ScenarioRunner {
             acks: trace.outputs().filter(|(_, _, o)| o.is_ack()).count(),
             recvs: known,
             totals: trace.total_stats(),
+            first_ack: trace
+                .outputs()
+                .find(|(_, _, o)| o.is_ack())
+                .map(|(r, _, _)| r),
             first_delivery: out.completed_at,
             stop_satisfied: complete,
             max_owners: None,
@@ -610,6 +644,56 @@ mod tests {
         let (report, trace) = runner.run_with_trial0_trace();
         assert_eq!(report.outcomes.len(), 2);
         assert_eq!(trace, runner.trial_trace_json(0));
+    }
+
+    #[test]
+    fn base_seed_near_u64_max_wraps_consistently() {
+        // Regression: seed derivation used `base_seed + trial`, which
+        // overflowed (panicking in debug) for large --seed values. The
+        // parallel, sequential, and replay paths must all wrap.
+        let runner = ScenarioRunner::new(
+            small_lb("wrap").trials(3).base_seed(u64::MAX).build().unwrap(),
+        )
+        .unwrap();
+        let report = runner.run();
+        assert_eq!(
+            report.outcomes.iter().map(|o| o.master_seed).collect::<Vec<_>>(),
+            vec![u64::MAX, 0, 1],
+        );
+        for (i, o) in report.outcomes.iter().enumerate() {
+            let solo = runner.run_trial(i);
+            assert_eq!(o.master_seed, solo.master_seed);
+            assert_eq!(o.totals, solo.totals);
+        }
+        assert!(!runner.trial_trace_json(2).is_empty());
+    }
+
+    #[test]
+    fn fully_jammed_scenario_reports_dash_rows() {
+        // Regression: a scenario that yields zero acks/deliveries used to
+        // feed empty samples toward `Summary::of`; the stats table now
+        // renders such metrics as `—` rows instead.
+        let s = small_lb("silent")
+            .jam_nodes(vec![0, 1, 2, 3], 1, 30)
+            .stop(StopSpec::Rounds { rounds: 30 })
+            .build()
+            .unwrap();
+        let report = ScenarioRunner::new(s).unwrap().run();
+        assert!(report.outcomes.iter().all(|o| o.acks == 0 && o.recvs == 0));
+        let tables = report.tables();
+        let stats = &tables[1];
+        let row = |name: &str| {
+            stats
+                .rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("missing {name} row"))
+                .clone()
+        };
+        assert_eq!(row("first ack round")[1], "—");
+        assert_eq!(row("first delivery round")[1], "—");
+        // Count metrics are present with real zeros, not dashes.
+        assert_eq!(row("acks")[1], "0");
     }
 
     #[test]

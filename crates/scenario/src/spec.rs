@@ -940,7 +940,8 @@ pub struct Scenario {
     pub stop: StopSpec,
     /// Monte-Carlo trial count.
     pub trials: usize,
-    /// Master seed of trial 0; trial `i` uses `base_seed + i`.
+    /// Master seed of trial 0; trial `i` uses `base_seed.wrapping_add(i)`
+    /// (wrapping, so seeds near `u64::MAX` are legal).
     pub base_seed: u64,
 }
 
