@@ -1,38 +1,14 @@
 //! Microbenchmarks of the round engine: collision resolution throughput
 //! across topology sizes and scheduler kinds.
 
+use bench::perf::Chatter;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use radio_sim::engine::{Configuration, Engine};
 use radio_sim::environment::NullEnvironment;
-use radio_sim::process::{Action, Context, Process};
+use radio_sim::fault::FaultPlan;
+use radio_sim::graph::NodeId;
 use radio_sim::scheduler;
 use radio_sim::topology;
-
-/// A minimal process: transmits a counter with probability 1/4.
-struct Chatter;
-
-impl Process for Chatter {
-    type Msg = u64;
-    type Input = ();
-    type Output = ();
-
-    fn on_input(&mut self, _i: (), _ctx: &mut Context<'_>) {}
-
-    fn transmit(&mut self, ctx: &mut Context<'_>) -> Action<u64> {
-        use rand::Rng;
-        if ctx.rng.gen_bool(0.25) {
-            Action::Transmit(ctx.round)
-        } else {
-            Action::Receive
-        }
-    }
-
-    fn on_receive(&mut self, _m: Option<u64>, _ctx: &mut Context<'_>) {}
-
-    fn take_outputs(&mut self) -> Vec<()> {
-        Vec::new()
-    }
-}
 
 fn bench_round_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/rounds");
@@ -78,5 +54,70 @@ fn bench_round_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round_throughput);
+/// Large-n dense topology: 1k+ nodes at high density, so neighbor scans
+/// dominate — the CSR adjacency's cache-linearity target case.
+fn bench_large_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/large-dense");
+    group.sample_size(10);
+    let n = 1024;
+    let topo = topology::random_geometric(topology::RggParams {
+        n,
+        side: (n as f64 / 24.0).sqrt(),
+        r: 2.0,
+        grey_reliable_p: 0.1,
+        grey_unreliable_p: 0.8,
+        seed: 3,
+    });
+    group.bench_with_input(BenchmarkId::new("all-edges", n), &topo, |b, topo| {
+        b.iter(|| {
+            let procs: Vec<Chatter> = (0..topo.graph.len()).map(|_| Chatter).collect();
+            let mut engine = Engine::new(
+                Configuration::new(topo.graph.clone(), Box::new(scheduler::AllExtraEdges)),
+                procs,
+                Box::new(NullEnvironment),
+                11,
+            );
+            engine.run(20);
+            engine.round()
+        })
+    });
+    group.finish();
+}
+
+/// A faulted round loop: churn + jamming windows + a drop burst, so the
+/// fault masks, transition recording, and fault-stream coin path are all
+/// exercised by `cargo bench`.
+fn bench_faulted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/faulted");
+    let n = 128;
+    let topo = topology::random_geometric(topology::RggParams {
+        n,
+        side: 4.0,
+        r: 2.0,
+        grey_reliable_p: 0.1,
+        grey_unreliable_p: 0.8,
+        seed: 3,
+    });
+    let faults = FaultPlan::none()
+        .with_crash(NodeId(1), 10, Some(60))
+        .with_crash(NodeId(2), 30, None)
+        .with_jam(vec![NodeId(3), NodeId(4), NodeId(5)], 5, 90)
+        .with_drop_burst(1, 100, 0.2);
+    group.bench_with_input(BenchmarkId::new("churn+jam+drops", n), &topo, |b, topo| {
+        b.iter(|| {
+            let procs: Vec<Chatter> = (0..topo.graph.len()).map(|_| Chatter).collect();
+            let config = Configuration::new(
+                topo.graph.clone(),
+                Box::new(scheduler::BernoulliEdges::new(0.5, 9)),
+            )
+            .with_faults(faults.clone());
+            let mut engine = Engine::new(config, procs, Box::new(NullEnvironment), 11);
+            engine.run(100);
+            engine.round()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_throughput, bench_large_dense, bench_faulted);
 criterion_main!(benches);

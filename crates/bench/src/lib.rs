@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use local_broadcast::config::LbConfig;
 use local_broadcast::service::{build_engine, QueueWorkload};
 use radio_sim::graph::DualGraph;

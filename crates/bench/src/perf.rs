@@ -1,0 +1,343 @@
+//! The perf harness: measured engine and campaign throughput, recorded
+//! as a schema'd `BENCH.json` so every PR leaves a comparable perf
+//! trajectory point. See docs/perf.md for the methodology and how to
+//! compare runs.
+
+use radio_sim::engine::{Configuration, Engine};
+use radio_sim::environment::NullEnvironment;
+use radio_sim::fault::FaultPlan;
+use radio_sim::graph::NodeId;
+use radio_sim::process::{Action, Context, Process};
+use radio_sim::scheduler;
+use radio_sim::topology::Topology;
+use radio_sim::trace::RecordingPolicy;
+use scenario::Campaign;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Version of the `BENCH.json` schema this crate writes and validates.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// The pinned campaign subset every perf run measures — the same subset
+/// the CI golden gate checks, so throughput numbers track a fixed
+/// workload across PRs.
+pub const PINNED_CAMPAIGN: [&str; 4] = ["e2", "e5", "e11", "drop-burst"];
+
+/// One engine micro-measurement: a fixed topology and scheduler driven
+/// for a fixed number of rounds under stats-only recording.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineCase {
+    /// Case name (`<topology>/<scheduler>`).
+    pub case: String,
+    /// Vertex count of the measured topology.
+    pub nodes: usize,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Wall-clock seconds for the measured run.
+    pub elapsed_s: f64,
+    /// `rounds / elapsed_s`.
+    pub rounds_per_sec: f64,
+    /// `rounds * nodes / elapsed_s` — the cross-topology comparable
+    /// number.
+    pub node_rounds_per_sec: f64,
+}
+
+/// The campaign fan-out measurement: repeated runs of the pinned
+/// scenario subset on the default worker pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignPerf {
+    /// Scenario names, in run order.
+    pub scenarios: Vec<String>,
+    /// How many times the whole subset ran.
+    pub repetitions: u32,
+    /// Trials per repetition (summed over scenarios).
+    pub trials: usize,
+    /// Wall-clock seconds over all repetitions.
+    pub elapsed_s: f64,
+    /// `repetitions * trials / elapsed_s`.
+    pub trials_per_sec: f64,
+}
+
+/// The `BENCH.json` document: one measured perf trajectory point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Engine micro-measurements.
+    pub engine: Vec<EngineCase>,
+    /// Campaign fan-out measurement.
+    pub campaign: CampaignPerf,
+}
+
+impl BenchReport {
+    /// Serializes to pretty-printed JSON (the on-disk format).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("bench report serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parses and validates a report from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let report: BenchReport =
+            serde_json::from_str(json).map_err(|e| format!("BENCH.json: {e}"))?;
+        report.validate()?;
+        Ok(report)
+    }
+
+    /// Checks the schema invariants: supported version, at least one
+    /// engine case, and finite positive throughput numbers throughout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {} (expected {BENCH_SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        if self.engine.is_empty() {
+            return Err("engine: needs at least one case".into());
+        }
+        for c in &self.engine {
+            if c.case.is_empty() {
+                return Err("engine case: empty name".into());
+            }
+            if c.nodes == 0 || c.rounds == 0 {
+                return Err(format!("engine case {}: zero nodes or rounds", c.case));
+            }
+            for (field, v) in [
+                ("elapsed_s", c.elapsed_s),
+                ("rounds_per_sec", c.rounds_per_sec),
+                ("node_rounds_per_sec", c.node_rounds_per_sec),
+            ] {
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!(
+                        "engine case {}: {field} must be finite and positive, got {v}",
+                        c.case
+                    ));
+                }
+            }
+        }
+        let c = &self.campaign;
+        if c.scenarios.is_empty() {
+            return Err("campaign: needs at least one scenario".into());
+        }
+        if c.repetitions == 0 || c.trials == 0 {
+            return Err("campaign: zero repetitions or trials".into());
+        }
+        for (field, v) in [("elapsed_s", c.elapsed_s), ("trials_per_sec", c.trials_per_sec)] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!(
+                    "campaign: {field} must be finite and positive, got {v}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// A human-readable summary table of the measurement.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("engine cases:\n");
+        for c in &self.engine {
+            out.push_str(&format!(
+                "  {:<28} n = {:>5}  {:>10.0} rounds/s  {:>12.0} node-rounds/s\n",
+                c.case, c.nodes, c.rounds_per_sec, c.node_rounds_per_sec
+            ));
+        }
+        out.push_str(&format!(
+            "campaign ({}, x{}): {:.0} trials/s over {} trial(s)\n",
+            self.campaign.scenarios.join(" "),
+            self.campaign.repetitions,
+            self.campaign.trials_per_sec,
+            self.campaign.trials,
+        ));
+        out
+    }
+}
+
+/// The engine micro-bench process: transmits its round number with
+/// probability 1/4 (`Copy` message, contention-heavy). Shared by the
+/// Criterion engine bench so both artifacts measure the same workload
+/// (the radio-sim zero-alloc test keeps its own copy — `radio-sim`
+/// cannot depend on this crate).
+pub struct Chatter;
+
+impl Process for Chatter {
+    type Msg = u64;
+    type Input = ();
+    type Output = ();
+
+    fn on_input(&mut self, _i: (), _ctx: &mut Context<'_>) {}
+
+    fn transmit(&mut self, ctx: &mut Context<'_>) -> Action<u64> {
+        use rand::Rng;
+        if ctx.rng.gen_bool(0.25) {
+            Action::Transmit(ctx.round)
+        } else {
+            Action::Receive
+        }
+    }
+
+    fn on_receive(&mut self, _m: Option<u64>, _ctx: &mut Context<'_>) {}
+
+    fn take_outputs(&mut self) -> Vec<()> {
+        Vec::new()
+    }
+}
+
+/// Drives `Chatter` processes for `rounds` rounds on the given topology
+/// and scheduler under stats-only recording, and returns the timed case.
+pub fn measure_engine_case(
+    case: &str,
+    topo: &Topology,
+    mk_scheduler: impl Fn() -> Box<dyn scheduler::LinkScheduler>,
+    faults: FaultPlan,
+    rounds: u64,
+) -> EngineCase {
+    let n = topo.graph.len();
+    let procs: Vec<Chatter> = (0..n).map(|_| Chatter).collect();
+    let config = Configuration::new(topo.graph.clone(), mk_scheduler())
+        .with_r(topo.r)
+        .with_recording(RecordingPolicy::stats_only())
+        .with_faults(faults);
+    let mut engine = Engine::new(config, procs, Box::new(NullEnvironment), 0xBEEF);
+    // Warmup sizes the engine's reusable scratch; reserve the stats
+    // capacity so the measured window is the steady state.
+    engine.run(16);
+    engine.reserve_rounds(rounds);
+    let start = Instant::now();
+    engine.run(rounds);
+    let elapsed = start.elapsed().as_secs_f64();
+    EngineCase {
+        case: case.to_string(),
+        nodes: n,
+        rounds,
+        elapsed_s: elapsed,
+        rounds_per_sec: rounds as f64 / elapsed,
+        node_rounds_per_sec: (rounds as f64 * n as f64) / elapsed,
+    }
+}
+
+/// The standard engine case set: mid-size sparse, large dense, and a
+/// faulted variant, across the scheduler kinds the hot path
+/// distinguishes (`All`, per-round `Subset`).
+pub fn engine_cases(rounds: u64) -> Vec<EngineCase> {
+    use radio_sim::topology::{random_geometric, RggParams};
+    let rgg = |n: usize, side: f64| {
+        random_geometric(RggParams {
+            n,
+            side,
+            r: 2.0,
+            grey_reliable_p: 0.1,
+            grey_unreliable_p: 0.8,
+            seed: 7,
+        })
+    };
+    let mid = rgg(256, (256f64 / 8.0).sqrt());
+    let dense = rgg(1024, (1024f64 / 24.0).sqrt());
+    let faults = FaultPlan::none()
+        .with_crash(NodeId(1), 16, Some(64))
+        .with_jam(vec![NodeId(2), NodeId(3)], 8, 128)
+        .with_drop_burst(4, 256, 0.1);
+    vec![
+        measure_engine_case(
+            "rgg-256/bernoulli",
+            &mid,
+            || Box::new(scheduler::BernoulliEdges::new(0.5, 9)),
+            FaultPlan::none(),
+            rounds,
+        ),
+        measure_engine_case(
+            "rgg-256/all-edges",
+            &mid,
+            || Box::new(scheduler::AllExtraEdges),
+            FaultPlan::none(),
+            rounds,
+        ),
+        measure_engine_case(
+            "rgg-1024-dense/all-edges",
+            &dense,
+            || Box::new(scheduler::AllExtraEdges),
+            FaultPlan::none(),
+            rounds,
+        ),
+        measure_engine_case(
+            "rgg-256/all-edges+faults",
+            &mid,
+            || Box::new(scheduler::AllExtraEdges),
+            faults,
+            rounds,
+        ),
+    ]
+}
+
+/// Runs the pinned campaign subset `repetitions` times and returns the
+/// timed fan-out measurement.
+pub fn measure_campaign(repetitions: u32) -> CampaignPerf {
+    let campaign = Campaign::subset(&PINNED_CAMPAIGN).expect("pinned subset is registered");
+    let trials: usize = campaign.scenarios().map(|s| s.trials).sum();
+    let start = Instant::now();
+    for _ in 0..repetitions {
+        let report = campaign.run();
+        assert_eq!(report.reports.len(), PINNED_CAMPAIGN.len());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    CampaignPerf {
+        scenarios: PINNED_CAMPAIGN.iter().map(|s| s.to_string()).collect(),
+        repetitions,
+        trials,
+        elapsed_s: elapsed,
+        trials_per_sec: (repetitions as f64 * trials as f64) / elapsed,
+    }
+}
+
+/// Runs the whole measurement suite: `quick` uses a tiny budget (CI
+/// smoke), the default budget targets a stable local number.
+pub fn run(quick: bool) -> BenchReport {
+    let (rounds, reps) = if quick { (64, 2) } else { (4_096, 40) };
+    BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        engine: engine_cases(rounds),
+        campaign: measure_campaign(reps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_is_valid_and_roundtrips() {
+        let report = run(true);
+        report.validate().expect("fresh report validates");
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.engine.len(), report.engine.len());
+        assert_eq!(back.campaign.scenarios, report.campaign.scenarios);
+        assert!(!report.summary().is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_malformed_reports() {
+        let mut report = run(true);
+        report.schema_version = 99;
+        assert!(report.validate().is_err());
+
+        let mut report = run(true);
+        report.engine.clear();
+        assert!(report.validate().is_err());
+
+        let mut report = run(true);
+        report.campaign.trials_per_sec = f64::NAN;
+        assert!(report.validate().is_err());
+
+        assert!(BenchReport::from_json("{").is_err());
+    }
+}

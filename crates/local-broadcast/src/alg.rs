@@ -42,11 +42,43 @@ enum NodeState {
     },
 }
 
+/// The handful of resolved scalars the per-round hot path reads,
+/// flattened out of [`LbParams`] at initialization so `transmit` and
+/// `on_receive` touch one small `Copy` struct instead of re-deriving
+/// them from the full parameter block every round.
+#[derive(Debug, Clone, Copy, Default)]
+struct HotParams {
+    t_s: u64,
+    phase_len: u64,
+    t_ack: u64,
+    bodies: u32,
+    participant_bits: usize,
+    b_bits: usize,
+    kappa: usize,
+    agreement: bool,
+}
+
+impl HotParams {
+    fn of(p: &LbParams) -> Self {
+        HotParams {
+            t_s: p.t_s,
+            phase_len: p.phase_len(),
+            t_ack: p.t_ack,
+            bodies: p.bodies,
+            participant_bits: p.participant_bits,
+            b_bits: p.b_bits,
+            kappa: p.kappa,
+            agreement: p.seed_mode == SeedMode::Agreement,
+        }
+    }
+}
+
 /// The `LBAlg(ε₁)` process.
 #[derive(Debug)]
 pub struct LbProcess {
     cfg: LbConfig,
     params: Option<LbParams>,
+    hot: HotParams,
     my_id: ProcId,
     state: NodeState,
     /// A `bcast` input waiting for the next phase boundary.
@@ -60,6 +92,11 @@ pub struct LbProcess {
     commit_history: Vec<Decide>,
     received_keys: HashSet<(ProcId, u64)>,
     outputs: Vec<LbOutput>,
+    /// The `(round, phase position)` computed by this round's `transmit`
+    /// call. `on_receive` always runs after `transmit` in the same round
+    /// (the engine skips both for down nodes), so it reuses the cached
+    /// position instead of re-dividing — `locate` is hot-path cost.
+    located: (u64, u64),
 }
 
 impl LbProcess {
@@ -69,6 +106,7 @@ impl LbProcess {
         LbProcess {
             cfg,
             params: None,
+            hot: HotParams::default(),
             my_id: 0,
             state: NodeState::Receiving,
             pending: None,
@@ -77,6 +115,7 @@ impl LbProcess {
             commit_history: Vec::new(),
             received_keys: HashSet::new(),
             outputs: Vec::new(),
+            located: (0, 0),
         }
     }
 
@@ -98,7 +137,9 @@ impl LbProcess {
 
     fn ensure_initialized(&mut self, ctx: &Context<'_>) {
         if self.params.is_none() {
-            self.params = Some(self.cfg.resolve(ctx.r, ctx.delta, ctx.delta_prime));
+            let params = self.cfg.resolve(ctx.r, ctx.delta, ctx.delta_prime);
+            self.hot = HotParams::of(&params);
+            self.params = Some(params);
             self.my_id = ctx.id;
         }
     }
@@ -141,10 +182,39 @@ impl Process for LbProcess {
         self.pending = Some(payload);
     }
 
+    #[inline]
     fn transmit(&mut self, ctx: &mut Context<'_>) -> Action<LbMsg> {
         self.ensure_initialized(ctx);
-        let params = self.params.clone().expect("just initialized");
-        let (_phase, pos) = params.locate(ctx.round);
+        // Hot path: everything the round needs lives in the flat
+        // `HotParams`, not the full parameter block.
+        let HotParams {
+            t_s,
+            phase_len,
+            participant_bits,
+            b_bits,
+            kappa,
+            agreement,
+            ..
+        } = self.hot;
+        // Advance the phase position incrementally over consecutive
+        // rounds (the common case); `locate`'s division runs only after
+        // a gap — e.g. the first round after a crash window, where the
+        // engine skipped this node's transmit steps.
+        let pos = if self.located.0 + 1 == ctx.round && self.located.0 != 0 {
+            let next = self.located.1 + 1;
+            if next == phase_len {
+                0
+            } else {
+                next
+            }
+        } else {
+            self.params.as_ref().expect("just initialized").locate(ctx.round).1
+        };
+        debug_assert_eq!(
+            pos,
+            self.params.as_ref().expect("initialized").locate(ctx.round).1
+        );
+        self.located = (ctx.round, pos);
 
         if pos == 0 {
             // Phase boundary: promote a pending bcast, restart SeedAlg.
@@ -155,41 +225,47 @@ impl Process for LbProcess {
                     bodies_completed: 0,
                 };
             }
-            if params.seed_mode == SeedMode::Agreement {
-                self.preamble = Some(SeedProcess::new(params.seed_cfg.clone()));
+            if agreement {
+                let seed_cfg = self.params.as_ref().expect("initialized").seed_cfg.clone();
+                self.preamble = Some(SeedProcess::new(seed_cfg));
             }
             self.phase_seed = None;
         }
 
-        if params.in_preamble(pos) {
+        if pos < t_s {
+            // In the preamble. A settled inner instance (decided and
+            // inactive) is a guaranteed no-op for the rest of the
+            // preamble — skip driving it.
             let inner = self
                 .preamble
                 .as_mut()
                 .expect("preamble instance exists during preamble rounds");
+            if inner.is_settled() {
+                return Action::Receive;
+            }
             return match inner.transmit(ctx) {
                 Action::Transmit(m) => Action::Transmit(LbMsg::Seed(m)),
                 Action::Receive => Action::Receive,
             };
         }
 
-        if pos == params.t_s {
+        if pos == t_s {
             // First body round: adopt the shared seed for this phase.
-            let decide = match params.seed_mode {
-                SeedMode::Agreement => {
-                    let inner = self
-                        .preamble
-                        .as_ref()
-                        .expect("preamble ran to completion");
-                    inner
-                        .committed()
-                        .expect("SeedAlg decides within T_s rounds (well-formedness)")
-                        .clone()
-                }
+            let decide = if agreement {
+                let inner = self
+                    .preamble
+                    .as_ref()
+                    .expect("preamble ran to completion");
+                inner
+                    .committed()
+                    .expect("SeedAlg decides within T_s rounds (well-formedness)")
+                    .clone()
+            } else {
                 // Ablation: a fresh private seed, no coordination.
-                SeedMode::Private => Decide {
+                Decide {
                     owner: self.my_id,
-                    seed: Seed::random(ctx.rng, params.kappa),
-                },
+                    seed: Seed::random(ctx.rng, kappa),
+                }
             };
             self.phase_seed = Some((decide.seed.clone(), 0));
             self.commit_history.push(decide);
@@ -200,11 +276,11 @@ impl Process for LbProcess {
             NodeState::Sending { payload, .. } => {
                 let payload = payload.clone();
                 // Shared choice 1: participate this round?
-                if self.take_shared_bits(params.participant_bits) != 0 {
+                if self.take_shared_bits(participant_bits) != 0 {
                     return Action::Receive;
                 }
                 // Shared choice 2: which rung of the probability ladder?
-                let b = self.take_shared_bits(params.b_bits) + 1;
+                let b = self.take_shared_bits(b_bits) + 1;
                 // Private choice: transmit with probability 2^{-b}.
                 let p = 2f64.powi(-(b as i32));
                 if ctx.rng.gen_bool(p) {
@@ -216,11 +292,25 @@ impl Process for LbProcess {
         }
     }
 
+    #[inline]
     fn on_receive(&mut self, msg: Option<LbMsg>, ctx: &mut Context<'_>) {
-        let params = self.params.clone().expect("initialized in transmit");
-        let (_phase, pos) = params.locate(ctx.round);
+        let HotParams {
+            t_s,
+            phase_len,
+            t_ack,
+            bodies,
+            ..
+        } = self.hot;
+        // `transmit` already located this round (the engine never calls
+        // `on_receive` without it); reuse the cached position.
+        debug_assert_eq!(self.located.0, ctx.round, "on_receive without transmit");
+        let pos = if self.located.0 == ctx.round {
+            self.located.1
+        } else {
+            self.params.as_ref().expect("initialized").locate(ctx.round).1
+        };
 
-        if params.in_preamble(pos) {
+        if pos < t_s {
             let inner_msg = match msg {
                 Some(LbMsg::Seed(s)) => Some(s),
                 // Data traffic cannot occur during globally aligned
@@ -228,9 +318,13 @@ impl Process for LbProcess {
                 _ => None,
             };
             if let Some(inner) = self.preamble.as_mut() {
-                inner.on_receive(inner_msg, ctx);
-                // Internal decide outputs are not service outputs.
-                let _ = inner.take_outputs();
+                // Settled instances ignore receptions and have already
+                // decided; driving them further is a no-op.
+                if !inner.is_settled() {
+                    inner.on_receive(inner_msg, ctx);
+                    // Internal decide outputs are not service outputs.
+                    let _ = inner.take_outputs();
+                }
             }
         } else if let Some(LbMsg::Data(p)) = msg {
             if self.received_keys.insert(p.key()) {
@@ -238,7 +332,7 @@ impl Process for LbProcess {
             }
         }
 
-        if pos == params.phase_len() - 1 {
+        if pos == phase_len - 1 {
             // End of phase: each completed phase contributes `bodies`
             // sending body segments toward T_ack.
             if let NodeState::Sending {
@@ -246,8 +340,8 @@ impl Process for LbProcess {
                 bodies_completed,
             } = &mut self.state
             {
-                *bodies_completed += u64::from(params.bodies);
-                if *bodies_completed >= params.t_ack {
+                *bodies_completed += u64::from(bodies);
+                if *bodies_completed >= t_ack {
                     let done = payload.clone();
                     self.outputs.push(LbOutput::Ack(done));
                     self.state = NodeState::Receiving;
@@ -256,6 +350,12 @@ impl Process for LbProcess {
         }
     }
 
+    #[inline]
+    fn has_outputs(&self) -> bool {
+        !self.outputs.is_empty()
+    }
+
+    #[inline]
     fn take_outputs(&mut self) -> Vec<LbOutput> {
         std::mem::take(&mut self.outputs)
     }

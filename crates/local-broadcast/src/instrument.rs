@@ -63,7 +63,7 @@ pub fn seed_groups_per_phase(procs: &[LbProcess], graph: &DualGraph) -> Vec<Phas
                 .map(|u| {
                     let mut owners: BTreeSet<ProcId> = BTreeSet::new();
                     owners.insert(owner_of(u));
-                    for v in graph.all_neighbors(u) {
+                    for &v in graph.all_neighbors(u) {
                         owners.insert(owner_of(v));
                     }
                     owners.len()

@@ -22,13 +22,16 @@ use crate::scheduler::{EdgeSelection, LinkScheduler, SchedulerBox};
 use crate::trace::{Event, EventKind, FaultEvent, RecordingPolicy, Trace};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 /// Everything that resolves model nondeterminism, minus the algorithm's
 /// coins: dual graph, link scheduler, id assignment, geographic parameter.
 #[derive(Debug)]
 pub struct Configuration {
-    /// The dual graph `(G, G')`.
-    pub graph: DualGraph,
+    /// The dual graph `(G, G')`, shareable across engines: Monte-Carlo
+    /// fan-out hands every trial the same `Arc` instead of cloning the
+    /// adjacency per trial.
+    pub graph: Arc<DualGraph>,
     /// The link scheduler (oblivious, or adaptive for separation
     /// experiments).
     pub scheduler: SchedulerBox,
@@ -47,8 +50,10 @@ pub struct Configuration {
 
 impl Configuration {
     /// A configuration with the identity id assignment, `r = 2`, and
-    /// output-only recording.
-    pub fn new(graph: DualGraph, scheduler: Box<dyn LinkScheduler>) -> Self {
+    /// output-only recording. Accepts an owned graph or an existing
+    /// `Arc` (shared across trials without cloning the adjacency).
+    pub fn new(graph: impl Into<Arc<DualGraph>>, scheduler: Box<dyn LinkScheduler>) -> Self {
+        let graph = graph.into();
         let n = graph.len();
         Configuration {
             graph,
@@ -120,7 +125,7 @@ impl Configuration {
 
 /// The synchronous executor for processes of type `P`.
 pub struct Engine<P: Process> {
-    graph: DualGraph,
+    graph: Arc<DualGraph>,
     scheduler: SchedulerBox,
     r: f64,
     recording: RecordingPolicy,
@@ -132,6 +137,9 @@ pub struct Engine<P: Process> {
     rngs: Vec<ChaCha8Rng>,
     env: Box<dyn Environment<P::Input, P::Output>>,
     pending_outputs: Vec<(NodeId, P::Output)>,
+    /// Last round's outputs, swapped with `pending_outputs` each round so
+    /// neither buffer is reallocated in the steady state.
+    outputs_prev: Vec<(NodeId, P::Output)>,
     round: u64,
     /// Fault masks for the round being executed and the previous round
     /// (the engine records Crash/Recover and JamStart/JamEnd transitions
@@ -140,6 +148,18 @@ pub struct Engine<P: Process> {
     down_prev: Vec<bool>,
     jammed: Vec<bool>,
     jam_prev: Vec<bool>,
+    // Per-round scratch, owned by the engine so `step` performs no heap
+    // allocation in the steady state (the hot-path contract the
+    // zero-alloc test pins; see docs/perf.md).
+    transmitting: Vec<bool>,
+    /// `messages[v]` is `Some` iff `v ∈ tx_list` — message slots are
+    /// cleared by walking `tx_list`, so per-round message traffic costs
+    /// O(transmitters), not O(n) (large message enums carry drop glue).
+    messages: Vec<Option<P::Msg>>,
+    /// This round's transmitters, in vertex order.
+    tx_list: Vec<usize>,
+    tx_neighbors: Vec<u32>,
+    last_sender: Vec<NodeId>,
     trace: Trace<P::Input, P::Output, P::Msg>,
 }
 
@@ -178,11 +198,17 @@ impl<P: Process> Engine<P> {
             rngs,
             env,
             pending_outputs: Vec::new(),
+            outputs_prev: Vec::new(),
             round: 0,
             down: vec![false; n],
             down_prev: vec![false; n],
             jammed: vec![false; n],
             jam_prev: vec![false; n],
+            transmitting: vec![false; n],
+            messages: (0..n).map(|_| None).collect(),
+            tx_list: Vec::with_capacity(n),
+            tx_neighbors: vec![0; n],
+            last_sender: vec![NodeId(0); n],
             trace,
         }
     }
@@ -210,6 +236,15 @@ impl<P: Process> Engine<P> {
     /// The dual graph being simulated.
     pub fn graph(&self) -> &DualGraph {
         &self.graph
+    }
+
+    /// Reserves trace capacity for `rounds` further rounds of aggregate
+    /// channel stats, so the steady state appends without reallocating
+    /// (the zero-allocation contract measured in docs/perf.md).
+    pub fn reserve_rounds(&mut self, rounds: u64) {
+        if self.recording.channel_stats {
+            self.trace.round_stats.reserve(rounds as usize);
+        }
     }
 
     /// Executes one synchronous round.
@@ -265,8 +300,11 @@ impl<P: Process> Engine<P> {
         }
 
         // Step 1: environment inputs (receives last round's outputs).
-        let outputs_prev = std::mem::take(&mut self.pending_outputs);
-        let inputs = self.env.next_inputs(round, &outputs_prev);
+        // The two output buffers swap roles each round instead of being
+        // reallocated.
+        std::mem::swap(&mut self.pending_outputs, &mut self.outputs_prev);
+        self.pending_outputs.clear();
+        let inputs = self.env.next_inputs(round, &self.outputs_prev);
         for (v, input) in inputs {
             assert!(v.0 < n, "environment addressed nonexistent vertex {v}");
             if have_faults && self.down[v.0] {
@@ -295,13 +333,18 @@ impl<P: Process> Engine<P> {
             self.procs[v.0].on_input(input, ctx);
         }
 
-        // Step 2: transmit decisions.
-        let mut transmitting = vec![false; n];
-        let mut messages: Vec<Option<P::Msg>> = Vec::with_capacity(n);
+        // Step 2: transmit decisions, into the engine-owned scratch
+        // buffers (no per-round allocation). Only last round's
+        // transmitter slots hold messages, so clearing walks `tx_list`
+        // instead of all n slots.
+        self.transmitting.fill(false);
+        for &v in &self.tx_list {
+            self.messages[v] = None;
+        }
+        self.tx_list.clear();
         for (v, proc) in self.procs.iter_mut().enumerate() {
             if have_faults && self.down[v] {
                 // Down nodes take no transmit step.
-                messages.push(None);
                 continue;
             }
             let ctx = &mut Context {
@@ -314,8 +357,9 @@ impl<P: Process> Engine<P> {
             };
             match proc.transmit(ctx) {
                 Action::Transmit(m) => {
-                    transmitting[v] = true;
-                    messages.push(Some(m));
+                    self.transmitting[v] = true;
+                    self.messages[v] = Some(m);
+                    self.tx_list.push(v);
                     if self.recording.transmissions {
                         self.trace.events.push(Event {
                             round,
@@ -324,7 +368,7 @@ impl<P: Process> Engine<P> {
                         });
                     }
                 }
-                Action::Receive => messages.push(None),
+                Action::Receive => {}
             }
         }
 
@@ -332,15 +376,16 @@ impl<P: Process> Engine<P> {
         // receptions under the collision rule.
         let selection = match &mut self.scheduler {
             SchedulerBox::Oblivious(s) => s.extra_edges(round, &self.graph),
-            SchedulerBox::Adaptive(s) => s.extra_edges(round, &self.graph, &transmitting),
+            SchedulerBox::Adaptive(s) => s.extra_edges(round, &self.graph, &self.transmitting),
         };
 
-        let mut tx_neighbors = vec![0usize; n];
-        let mut last_sender = vec![NodeId(0); n];
-        for (v, &tx) in transmitting.iter().enumerate() {
-            if !tx {
-                continue;
-            }
+        // `last_sender` needs no reset: it is only read where
+        // `tx_neighbors` is nonzero, which implies a write this round.
+        self.tx_neighbors.fill(0);
+        let transmitting = &self.transmitting;
+        let tx_neighbors = &mut self.tx_neighbors;
+        let last_sender = &mut self.last_sender;
+        for &v in &self.tx_list {
             for &u in self.graph.reliable_neighbors(NodeId(v)) {
                 tx_neighbors[u.0] += 1;
                 last_sender[u.0] = NodeId(v);
@@ -375,7 +420,7 @@ impl<P: Process> Engine<P> {
         }
 
         let mut stats = self.recording.channel_stats.then(|| crate::trace::RoundStats {
-            transmitters: transmitting.iter().filter(|t| **t).count(),
+            transmitters: self.tx_list.len(),
             ..Default::default()
         });
 
@@ -390,7 +435,7 @@ impl<P: Process> Engine<P> {
                 }
                 continue;
             }
-            let received: Option<P::Msg> = if transmitting[u] {
+            let received: Option<P::Msg> = if self.transmitting[u] {
                 // Transmitters are not receiving this round.
                 None
             } else if have_faults && self.jammed[u] {
@@ -400,8 +445,8 @@ impl<P: Process> Engine<P> {
                     s.jammed += 1;
                 }
                 None
-            } else if tx_neighbors[u] == 1 {
-                let from = last_sender[u];
+            } else if self.tx_neighbors[u] == 1 {
+                let from = self.last_sender[u];
                 // An otherwise-successful reception may still be lost to
                 // an active drop burst (one coin per burst, in vertex
                 // order, from the dedicated fault stream).
@@ -429,7 +474,7 @@ impl<P: Process> Engine<P> {
                     }
                     None
                 } else {
-                    let msg = messages[from.0]
+                    let msg = self.messages[from.0]
                         .clone()
                         .expect("sender marked transmitting must carry a message");
                     if self.recording.receptions {
@@ -449,7 +494,7 @@ impl<P: Process> Engine<P> {
                 }
             } else {
                 if let Some(s) = stats.as_mut() {
-                    if tx_neighbors[u] == 0 {
+                    if self.tx_neighbors[u] == 0 {
                         s.silent += 1;
                     } else {
                         s.collisions += 1;
@@ -476,6 +521,9 @@ impl<P: Process> Engine<P> {
         // next round.
         for v in 0..n {
             if have_faults && self.down[v] {
+                continue;
+            }
+            if !self.procs[v].has_outputs() {
                 continue;
             }
             for out in self.procs[v].take_outputs() {

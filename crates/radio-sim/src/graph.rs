@@ -100,18 +100,137 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// Flat compressed-sparse-row adjacency: neighbor lists of all vertices
+/// concatenated into one contiguous array, with per-vertex offsets.
+/// Neighbor scans are cache-linear and return borrowed slices; each
+/// per-vertex segment is sorted, so membership tests binary-search.
+#[derive(Debug, Clone, PartialEq)]
+struct Csr {
+    /// `offsets[u]..offsets[u + 1]` indexes `u`'s segment of `targets`.
+    offsets: Vec<usize>,
+    /// All neighbor lists, concatenated in vertex order.
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds the CSR from an edge list over `n` vertices. Each edge
+    /// contributes both directions; segments come out sorted because the
+    /// counting pass fixes exact slot ranges and a per-segment sort
+    /// finishes the (already mostly ordered) fill.
+    fn build(n: usize, edges: &[Edge]) -> Self {
+        let mut offsets = vec![0usize; n + 1];
+        for e in edges {
+            offsets[e.a.0 + 1] += 1;
+            offsets[e.b.0 + 1] += 1;
+        }
+        for u in 0..n {
+            offsets[u + 1] += offsets[u];
+        }
+        let mut targets = vec![NodeId(0); edges.len() * 2];
+        let mut cursor = offsets.clone();
+        for e in edges {
+            targets[cursor[e.a.0]] = e.b;
+            cursor[e.a.0] += 1;
+            targets[cursor[e.b.0]] = e.a;
+            cursor[e.b.0] += 1;
+        }
+        for u in 0..n {
+            targets[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Merges two CSRs with disjoint, sorted segments into one whose
+    /// segments are the sorted unions (the precomputed `G'` adjacency).
+    fn merge(n: usize, a: &Csr, b: &Csr) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(a.targets.len() + b.targets.len());
+        offsets.push(0);
+        for u in 0..n {
+            let (mut i, mut j) = (0, 0);
+            let (sa, sb) = (a.neighbors(u), b.neighbors(u));
+            while i < sa.len() && j < sb.len() {
+                if sa[i] < sb[j] {
+                    targets.push(sa[i]);
+                    i += 1;
+                } else {
+                    targets.push(sb[j]);
+                    j += 1;
+                }
+            }
+            targets.extend_from_slice(&sa[i..]);
+            targets.extend_from_slice(&sb[j..]);
+            offsets.push(targets.len());
+        }
+        Csr { offsets, targets }
+    }
+
+    fn neighbors(&self, u: usize) -> &[NodeId] {
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// `max_u |neighbors(u)| + 1`, the degree bound the model hands to
+    /// processes.
+    fn degree_bound(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| w[1] - w[0] + 1)
+            .max()
+            .unwrap_or(1)
+    }
+}
+
 /// The dual graph `(G, G')` of Section 2.
 ///
-/// Stored as the reliable edge set `E` and the *extra* edge set `E' \ E`.
+/// Stored as the reliable edge set `E` and the *extra* edge set `E' \ E`,
+/// with flat CSR adjacency (per edge class plus the precomputed merged
+/// `G'` adjacency) and precomputed degree bounds `Δ`/`Δ'` — the engine's
+/// hot path scans neighbors cache-linearly and never recomputes bounds.
 /// Construction validates that the two sets are disjoint and in range, so a
 /// `DualGraph` value always satisfies the model's structural invariants.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DualGraph {
     n: usize,
-    reliable_adj: Vec<Vec<NodeId>>,
-    extra_adj: Vec<Vec<NodeId>>,
+    reliable_csr: Csr,
+    extra_csr: Csr,
+    all_csr: Csr,
     reliable_edges: Vec<Edge>,
     extra_edges: Vec<Edge>,
+    delta: usize,
+    delta_prime: usize,
+}
+
+/// The serialized shape of a [`DualGraph`]: the logical edge lists only.
+/// Adjacency and degree bounds are derived data, rebuilt on deserialize,
+/// so the wire format is independent of the in-memory layout.
+#[derive(Serialize, Deserialize)]
+struct DualGraphWire {
+    n: usize,
+    reliable_edges: Vec<Edge>,
+    extra_edges: Vec<Edge>,
+}
+
+impl Serialize for DualGraph {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        DualGraphWire {
+            n: self.n,
+            reliable_edges: self.reliable_edges.clone(),
+            extra_edges: self.extra_edges.clone(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for DualGraph {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wire = DualGraphWire::deserialize(deserializer)?;
+        DualGraph::new(
+            wire.n,
+            wire.reliable_edges.iter().map(|e| (e.a.0, e.b.0)),
+            wire.extra_edges.iter().map(|e| (e.a.0, e.b.0)),
+        )
+        .map_err(serde::de::Error::custom)
+    }
 }
 
 impl DualGraph {
@@ -152,25 +271,22 @@ impl DualGraph {
             ext.insert(e);
         }
 
-        let mut reliable_adj = vec![Vec::new(); n];
-        for e in &rel {
-            reliable_adj[e.a.0].push(e.b);
-            reliable_adj[e.b.0].push(e.a);
-        }
-        let mut extra_adj = vec![Vec::new(); n];
-        for e in &ext {
-            extra_adj[e.a.0].push(e.b);
-            extra_adj[e.b.0].push(e.a);
-        }
-        for adj in reliable_adj.iter_mut().chain(extra_adj.iter_mut()) {
-            adj.sort();
-        }
+        let reliable_edges: Vec<Edge> = rel.into_iter().collect();
+        let extra_edges: Vec<Edge> = ext.into_iter().collect();
+        let reliable_csr = Csr::build(n, &reliable_edges);
+        let extra_csr = Csr::build(n, &extra_edges);
+        let all_csr = Csr::merge(n, &reliable_csr, &extra_csr);
+        let delta = reliable_csr.degree_bound();
+        let delta_prime = all_csr.degree_bound();
         Ok(DualGraph {
             n,
-            reliable_adj,
-            extra_adj,
-            reliable_edges: rel.into_iter().collect(),
-            extra_edges: ext.into_iter().collect(),
+            reliable_csr,
+            extra_csr,
+            all_csr,
+            reliable_edges,
+            extra_edges,
+            delta,
+            delta_prime,
         })
     }
 
@@ -205,35 +321,28 @@ impl DualGraph {
 
     /// `N_G(u)`: reliable neighbors of `u`, excluding `u` itself.
     pub fn reliable_neighbors(&self, u: NodeId) -> &[NodeId] {
-        &self.reliable_adj[u.0]
+        self.reliable_csr.neighbors(u.0)
     }
 
     /// Neighbors of `u` through *extra* (unreliable-only) edges.
     pub fn extra_neighbors(&self, u: NodeId) -> &[NodeId] {
-        &self.extra_adj[u.0]
+        self.extra_csr.neighbors(u.0)
     }
 
-    /// `N_{G'}(u)`: all neighbors of `u` in `G'`, excluding `u`.
-    pub fn all_neighbors(&self, u: NodeId) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self.reliable_adj[u.0]
-            .iter()
-            .chain(self.extra_adj[u.0].iter())
-            .copied()
-            .collect();
-        out.sort();
-        out
+    /// `N_{G'}(u)`: all neighbors of `u` in `G'`, excluding `u` — a
+    /// borrowed, sorted slice of the precomputed merged adjacency.
+    pub fn all_neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.all_csr.neighbors(u.0)
     }
 
     /// Whether `{u, v} ∈ E`.
     pub fn is_reliable_edge(&self, u: NodeId, v: NodeId) -> bool {
-        u != v && self.reliable_adj[u.0].binary_search(&v).is_ok()
+        u != v && self.reliable_csr.neighbors(u.0).binary_search(&v).is_ok()
     }
 
     /// Whether `{u, v} ∈ E'` (reliable or unreliable).
     pub fn is_any_edge(&self, u: NodeId, v: NodeId) -> bool {
-        u != v
-            && (self.reliable_adj[u.0].binary_search(&v).is_ok()
-                || self.extra_adj[u.0].binary_search(&v).is_ok())
+        u != v && self.all_csr.neighbors(u.0).binary_search(&v).is_ok()
     }
 
     /// The reliable edge list `E`.
@@ -249,25 +358,16 @@ impl DualGraph {
     /// `Δ`: the maximum over `u` of `|N_G(u) ∪ {u}|`.
     ///
     /// Processes are assumed to *know* this bound (Section 2), so the
-    /// engine passes it to every process at start.
+    /// engine passes it to every process at start. Precomputed at
+    /// construction; this accessor is free.
     pub fn delta(&self) -> usize {
-        self.reliable_adj
-            .iter()
-            .map(|a| a.len() + 1)
-            .max()
-            .unwrap_or(1)
+        self.delta
     }
 
-    /// `Δ'`: the maximum over `u` of `|N_{G'}(u) ∪ {u}|`.
+    /// `Δ'`: the maximum over `u` of `|N_{G'}(u) ∪ {u}|`. Precomputed at
+    /// construction; this accessor is free.
     pub fn delta_prime(&self) -> usize {
-        (0..self.n)
-            .map(|u| {
-                let mut set: BTreeSet<NodeId> = self.reliable_adj[u].iter().copied().collect();
-                set.extend(self.extra_adj[u].iter().copied());
-                set.len() + 1
-            })
-            .max()
-            .unwrap_or(1)
+        self.delta_prime
     }
 }
 
@@ -289,7 +389,79 @@ mod tests {
         assert!(!g.is_any_edge(NodeId(0), NodeId(0)));
         assert_eq!(g.reliable_neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
         assert_eq!(g.extra_neighbors(NodeId(0)), &[NodeId(2)]);
-        assert_eq!(g.all_neighbors(NodeId(0)), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(g.all_neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+    }
+
+    /// Brute-force recomputation of `Δ`, `Δ'`, and the merged adjacency
+    /// from the edge lists alone — the CSR precomputation must match it
+    /// on every graph shape.
+    fn brute_force_check(g: &DualGraph) {
+        let mut delta = 1;
+        let mut delta_prime = 1;
+        for u in g.vertices() {
+            let rel: BTreeSet<NodeId> = g
+                .reliable_edges()
+                .iter()
+                .filter_map(|e| e.try_other(u))
+                .collect();
+            let mut all = rel.clone();
+            all.extend(g.extra_edges().iter().filter_map(|e| e.try_other(u)));
+            delta = delta.max(rel.len() + 1);
+            delta_prime = delta_prime.max(all.len() + 1);
+            assert_eq!(
+                g.reliable_neighbors(u),
+                rel.iter().copied().collect::<Vec<_>>(),
+                "reliable adjacency of {u} diverged from the edge list"
+            );
+            assert_eq!(
+                g.all_neighbors(u),
+                all.iter().copied().collect::<Vec<_>>(),
+                "merged G' adjacency of {u} diverged from the edge list"
+            );
+        }
+        assert_eq!(g.delta(), delta, "precomputed delta diverged");
+        assert_eq!(g.delta_prime(), delta_prime, "precomputed delta' diverged");
+    }
+
+    #[test]
+    fn precomputed_bounds_match_brute_force() {
+        brute_force_check(&triangle());
+        brute_force_check(&DualGraph::new(0, [], []).unwrap());
+        brute_force_check(&DualGraph::new(1, [], []).unwrap());
+        // A star plus a fringe ring: uneven degrees in both classes.
+        brute_force_check(
+            &DualGraph::new(
+                7,
+                (1..7).map(|v| (0, v)),
+                (1..7).map(|v| (v, v % 6 + 1)).filter(|(a, b)| a != b),
+            )
+            .unwrap(),
+        );
+        // Isolated vertices at both ends of the index range.
+        brute_force_check(&DualGraph::new(6, [(2, 3)], [(3, 4)]).unwrap());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_graph_and_derived_data() {
+        let g = DualGraph::new(5, [(0, 1), (1, 2), (3, 4)], [(0, 2), (2, 4)]).unwrap();
+        let json = serde_json::to_string(&g).unwrap();
+        // The wire format carries only the logical edge lists.
+        assert!(json.contains("reliable_edges"));
+        assert!(!json.contains("csr") && !json.contains("offsets"));
+        let back: DualGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+        assert_eq!(back.delta(), g.delta());
+        assert_eq!(back.delta_prime(), g.delta_prime());
+    }
+
+    #[test]
+    fn serde_rejects_structurally_invalid_wire_data() {
+        // An edge in both sets must fail deserialization, not produce a
+        // graph that violates the `E' \ E` invariant.
+        let bad = r#"{"n":2,
+            "reliable_edges":[{"a":0,"b":1}],
+            "extra_edges":[{"a":0,"b":1}]}"#;
+        assert!(serde_json::from_str::<DualGraph>(bad).is_err());
     }
 
     #[test]

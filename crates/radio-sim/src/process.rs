@@ -72,6 +72,15 @@ pub trait Process: Send {
     /// Drains outputs generated this round (end-of-round step).
     fn take_outputs(&mut self) -> Vec<Self::Output>;
 
+    /// Whether [`Process::take_outputs`] would currently return anything.
+    /// The engine consults this before draining so the (overwhelmingly
+    /// common) no-output round costs one branch per node. The default is
+    /// conservatively `true`; implementations with an internal output
+    /// buffer should report its emptiness.
+    fn has_outputs(&self) -> bool {
+        true
+    }
+
     /// Called when the node comes back up after a fault-plan crash
     /// (see [`crate::fault::FaultPlan`]), before any other callback of
     /// the recovery round. The default keeps all state — a duty-cycle /

@@ -34,17 +34,37 @@ pub enum EdgeSelection {
     All,
     /// No unreliable edge is present (`Gₜ = G`).
     None,
-    /// Exactly the listed extra edges are present.
+    /// Exactly the listed extra edges are present. The list must be
+    /// sorted ascending and duplicate-free — membership tests
+    /// binary-search it. Schedulers that filter the graph's (sorted)
+    /// extra-edge list inherit the order for free; anything else should
+    /// go through [`EdgeSelection::subset`].
     Subset(Vec<Edge>),
 }
 
 impl EdgeSelection {
-    /// Whether the given extra edge is included by this selection.
+    /// Builds a `Subset` selection from an arbitrarily ordered edge
+    /// list, sorting and deduplicating it to establish the invariant
+    /// [`EdgeSelection::contains`] relies on.
+    pub fn subset(mut edges: Vec<Edge>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        EdgeSelection::Subset(edges)
+    }
+
+    /// Whether the given extra edge is included by this selection
+    /// (binary search on the sorted `Subset` list).
     pub fn contains(&self, e: &Edge) -> bool {
         match self {
             EdgeSelection::All => true,
             EdgeSelection::None => false,
-            EdgeSelection::Subset(v) => v.contains(e),
+            EdgeSelection::Subset(v) => {
+                debug_assert!(
+                    v.windows(2).all(|w| w[0] < w[1]),
+                    "Subset edges must be sorted and deduplicated"
+                );
+                v.binary_search(e).is_ok()
+            }
         }
     }
 }
@@ -509,9 +529,7 @@ impl AdaptiveScheduler for GreedyJammer {
                 }
             }
         }
-        chosen.sort();
-        chosen.dedup();
-        EdgeSelection::Subset(chosen)
+        EdgeSelection::subset(chosen)
     }
     fn name(&self) -> &'static str {
         "greedy-jammer"
@@ -655,6 +673,37 @@ mod tests {
         let mut j = GreedyJammer;
         let sel = j.extra_edges(1, &g, &[false, false, true]);
         assert!(!sel.contains(&Edge::new(NodeId(1), NodeId(2))));
+    }
+
+    #[test]
+    fn subset_constructor_sorts_and_dedups() {
+        let e01 = Edge::new(NodeId(0), NodeId(1));
+        let e12 = Edge::new(NodeId(1), NodeId(2));
+        let e23 = Edge::new(NodeId(2), NodeId(3));
+        let sel = EdgeSelection::subset(vec![e23, e01, e23, e12]);
+        assert_eq!(sel, EdgeSelection::Subset(vec![e01, e12, e23]));
+        assert!(sel.contains(&e01) && sel.contains(&e12) && sel.contains(&e23));
+        assert!(!sel.contains(&Edge::new(NodeId(0), NodeId(3))));
+    }
+
+    #[test]
+    fn contains_binary_search_matches_linear_scan() {
+        // Every per-round Subset a scheduler emits stays sorted, so
+        // `contains` may binary-search; cross-check against a linear
+        // scan over a bigger fringe.
+        let n = 40;
+        let extra: Vec<(usize, usize)> = (0..n - 2).map(|i| (i, i + 2)).collect();
+        let g = DualGraph::new(n, (0..n - 1).map(|i| (i, i + 1)), extra).unwrap();
+        let mut sched = BernoulliEdges::new(0.5, 77);
+        for round in 1..=8 {
+            let sel = sched.extra_edges(round, &g);
+            let EdgeSelection::Subset(chosen) = &sel else {
+                panic!("bernoulli always returns a subset");
+            };
+            for e in g.extra_edges() {
+                assert_eq!(sel.contains(e), chosen.iter().any(|c| c == e));
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ use local_broadcast::spec as lb_spec;
 use radio_sim::engine::{Configuration, Engine};
 use radio_sim::environment::{NullEnvironment, ScriptedEnvironment};
 use radio_sim::fault::FaultPlan;
-use radio_sim::graph::NodeId;
+use radio_sim::graph::{DualGraph, NodeId};
 use radio_sim::process::Process;
 use radio_sim::scheduler;
 use radio_sim::topology::Topology;
@@ -31,6 +31,7 @@ use radio_sim::trace::{EventKind, RecordingPolicy, RoundStats, Trace};
 use seed_agreement::alg::SeedProcess;
 use seed_agreement::{spec as seed_spec, SeedConfig};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Rounds per "phase" for the fixed-schedule baselines, which have no
 /// intrinsic phase structure (`StopSpec::Phases` multiplies this).
@@ -200,6 +201,9 @@ impl ScenarioReport {
 pub struct ScenarioRunner {
     scenario: Scenario,
     topo: Topology,
+    /// The built dual graph, shared across all trial engines via `Arc`
+    /// (one adjacency build per scenario, not per trial).
+    graph: Arc<DualGraph>,
     faults: FaultPlan,
 }
 
@@ -214,9 +218,11 @@ impl ScenarioRunner {
         scenario.validate()?;
         let topo = scenario.topology.build();
         let faults = scenario.faults.resolve(&topo);
+        let graph = Arc::new(topo.graph.clone());
         Ok(ScenarioRunner {
             scenario,
             topo,
+            graph,
             faults,
         })
     }
@@ -286,21 +292,39 @@ impl ScenarioRunner {
             .expect("trace requested")
     }
 
-    fn configuration(&self, master_seed: u64) -> Configuration {
+    /// The recording policy a trial actually needs: metric trials keep
+    /// aggregate channel stats only (inputs and outputs are always
+    /// recorded, which is all the spec predicates and summary metrics
+    /// read); the full per-event trace — every transmit marker and
+    /// cloned message — is recorded only when the caller asked for the
+    /// trace JSON.
+    fn recording_for(want_trace: bool) -> RecordingPolicy {
+        if want_trace {
+            RecordingPolicy::full()
+        } else {
+            RecordingPolicy::stats_only()
+        }
+    }
+
+    fn configuration(&self, master_seed: u64, recording: RecordingPolicy) -> Configuration {
+        // All trials share one `Arc`d graph; only the scheduler and
+        // fault plan are per-trial values.
         let config = match self.scenario.adversary.build_oblivious(master_seed) {
-            Some(sched) => self.topo.configuration(sched),
-            None => self
-                .topo
-                .configuration(Box::new(scheduler::NoExtraEdges))
-                .with_adaptive(
-                    self.scenario
-                        .adversary
-                        .build_adaptive()
-                        .expect("non-oblivious spec is adaptive"),
-                ),
+            Some(sched) => Configuration::new(Arc::clone(&self.graph), sched),
+            None => Configuration::new(
+                Arc::clone(&self.graph),
+                Box::new(scheduler::NoExtraEdges),
+            )
+            .with_adaptive(
+                self.scenario
+                    .adversary
+                    .build_adaptive()
+                    .expect("non-oblivious spec is adaptive"),
+            ),
         };
         config
-            .with_recording(RecordingPolicy::full())
+            .with_r(self.topo.r)
+            .with_recording(recording)
             .with_faults(self.faults.clone())
     }
 
@@ -352,12 +376,12 @@ impl ScenarioRunner {
         want_trace: bool,
     ) -> (TrialOutcome, Option<String>) {
         let cfg = SeedConfig::practical(epsilon1, seed_bits);
-        let delta = self.topo.graph.delta();
+        let delta = self.graph.delta();
         let horizon = self.horizon(cfg.phase_len(), cfg.total_rounds(delta));
-        let n = self.topo.graph.len();
+        let n = self.graph.len();
         let procs: Vec<SeedProcess> = (0..n).map(|_| SeedProcess::new(cfg.clone())).collect();
         let mut engine = Engine::new(
-            self.configuration(master_seed),
+            self.configuration(master_seed, Self::recording_for(want_trace)),
             procs,
             Box::new(NullEnvironment),
             master_seed,
@@ -367,7 +391,7 @@ impl ScenarioRunner {
         let spec_ok = seed_spec::check_well_formedness(trace).is_ok()
             && seed_spec::check_consistency(trace).is_ok()
             && seed_spec::check_owner_seed_fidelity(trace).is_ok();
-        let max_owners = seed_spec::owners_per_neighborhood(trace, &self.topo.graph)
+        let max_owners = seed_spec::owners_per_neighborhood(trace, &self.graph)
             .ok()
             .and_then(|per| per.into_iter().max());
         let outcome = TrialOutcome {
@@ -397,15 +421,15 @@ impl ScenarioRunner {
         let cfg = LbConfig::practical(epsilon1);
         let params = cfg.resolve(
             self.topo.r,
-            self.topo.graph.delta(),
-            self.topo.graph.delta_prime(),
+            self.graph.delta(),
+            self.graph.delta_prime(),
         );
         let horizon = self.horizon(
             params.phase_len(),
             (params.t_ack_rounds() + params.phase_len())
                 .saturating_mul(messages_per_sender.max(1)),
         );
-        let n = self.topo.graph.len();
+        let n = self.graph.len();
         let mut queues = vec![VecDeque::new(); n];
         for &s in senders {
             for tag in 0..messages_per_sender {
@@ -415,7 +439,7 @@ impl ScenarioRunner {
         let env = QueueWorkload::new(queues, 1);
         let procs: Vec<LbProcess> = (0..n).map(|_| LbProcess::new(cfg.clone())).collect();
         let mut engine = Engine::new(
-            self.configuration(master_seed),
+            self.configuration(master_seed, Self::recording_for(want_trace)),
             procs,
             Box::new(env),
             master_seed,
@@ -424,7 +448,7 @@ impl ScenarioRunner {
             self.drive(&mut engine, horizon, |o: &LbOutput| !o.is_ack());
         let trace = engine.trace();
         let spec_ok = lb_spec::check_timely_ack(trace, params.t_ack_rounds()).is_ok()
-            && lb_spec::check_validity(trace, &self.topo.graph).is_ok();
+            && lb_spec::check_validity(trace, &self.graph).is_ok();
         let outcome = TrialOutcome {
             master_seed,
             rounds: trace.rounds,
@@ -452,7 +476,7 @@ impl ScenarioRunner {
         want_trace: bool,
     ) -> (TrialOutcome, Option<String>) {
         let horizon = self.horizon(BASELINE_PHASE_ROUNDS, BASELINE_COMPLETE_ROUNDS);
-        let n = self.topo.graph.len();
+        let n = self.graph.len();
         let mk = || -> FixedScheduleProcess {
             match uniform_p {
                 Some(p) => uniform_process(p, Some(horizon.saturating_mul(2))),
@@ -465,7 +489,7 @@ impl ScenarioRunner {
             .map(|&v| (1, NodeId(v), LbInput::Bcast(Payload::new(v as u64, 0))))
             .collect();
         let mut engine = Engine::new(
-            self.configuration(master_seed),
+            self.configuration(master_seed, Self::recording_for(want_trace)),
             procs,
             Box::new(ScriptedEnvironment::new(script)),
             master_seed,
@@ -507,7 +531,7 @@ impl ScenarioRunner {
             .expect("validation rejects adaptive adversaries for amac flood");
         let mut mac = amac::adapter::LbMac::new(&self.topo, sched, cfg, master_seed);
         let f_ack = mac.params().t_ack_rounds();
-        let n = self.topo.graph.len();
+        let n = self.graph.len();
         let horizon = self.horizon(f_ack, f_ack.saturating_mul(n as u64 + 4).saturating_mul(2));
         let source_nodes: Vec<NodeId> = sources.iter().map(|&v| NodeId(v)).collect();
         let out = amac::apps::flood_broadcast(&mut mac, &source_nodes, 1, horizon);

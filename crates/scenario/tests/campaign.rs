@@ -59,6 +59,22 @@ fn combined_report_is_byte_identical_across_threads_and_runs() {
 }
 
 #[test]
+fn stats_only_campaign_path_still_records_channel_totals() {
+    // Campaign trials run under the lean stats-only recording policy;
+    // the aggregate channel stats (and the drop-burst fault counters)
+    // must still be measured — only the per-event trace is skipped.
+    let report = Campaign::new(tiny_campaign()).unwrap().run();
+    let drop_scenario = &report.reports[0]; // "a": drop_burst p = 0.25
+    for o in &drop_scenario.outcomes {
+        assert!(o.totals.transmitters > 0, "transmitter totals recorded");
+        assert!(
+            o.totals.deliveries + o.totals.dropped > 0,
+            "delivery/drop totals recorded"
+        );
+    }
+}
+
+#[test]
 fn campaign_handles_base_seed_at_u64_max() {
     // The flattened (scenario, trial) job list derives seeds the same
     // wrapping way as standalone runners.

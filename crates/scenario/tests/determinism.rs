@@ -81,3 +81,45 @@ fn adaptive_jammer_scenario_is_deterministic() {
     s.stop = scenario::StopSpec::Rounds { rounds: 40 };
     assert_replay_identical(s);
 }
+
+#[test]
+fn buffer_reuse_does_not_leak_across_executions() {
+    // The engine owns reusable per-round scratch buffers, and runners
+    // share one Arc'd graph across trials. Interleaving trials on one
+    // runner — trial 0, a different trial, trial 0 again — must produce
+    // the same bytes as a fresh runner that only ever ran trial 0.
+    let mut s = registry::find("drop-burst").unwrap();
+    s.trials = 3;
+    let reused = ScenarioRunner::new(s.clone()).unwrap();
+    let first = reused.trial_trace_json(0);
+    let other = reused.trial_trace_json(2);
+    let again = reused.trial_trace_json(0);
+    assert_ne!(first, other, "distinct trials differ");
+    assert_eq!(first, again, "re-running trial 0 on a reused runner drifted");
+    let fresh = ScenarioRunner::new(s).unwrap();
+    assert_eq!(first, fresh.trial_trace_json(0), "reused vs fresh runner drifted");
+}
+
+#[test]
+fn stats_only_trials_match_full_recording_metrics() {
+    // Metric trials record stats only; the traced path records the full
+    // event log. Both run the identical execution, so every summary
+    // metric must agree — the lean fan-out must not change outcomes.
+    for name in ["e5", "churn", "jamming-window"] {
+        let mut s = registry::find(name).unwrap();
+        s.trials = 2;
+        let runner = ScenarioRunner::new(s).unwrap();
+        let (report, _trace) = runner.run_with_trial0_trace();
+        let lean = runner.run();
+        for (full, lean) in report.outcomes.iter().zip(&lean.outcomes) {
+            assert_eq!(full.master_seed, lean.master_seed, "{name}");
+            assert_eq!(full.rounds, lean.rounds, "{name}");
+            assert_eq!(full.acks, lean.acks, "{name}");
+            assert_eq!(full.recvs, lean.recvs, "{name}");
+            assert_eq!(full.totals, lean.totals, "{name}");
+            assert_eq!(full.first_ack, lean.first_ack, "{name}");
+            assert_eq!(full.first_delivery, lean.first_delivery, "{name}");
+            assert_eq!(full.spec_ok, lean.spec_ok, "{name}");
+        }
+    }
+}

@@ -66,6 +66,11 @@ pub struct SeedProcess {
     outputs: Vec<Decide>,
     history: Vec<PhaseRecord>,
     initialized: bool,
+    /// `phase_of(local_round)` computed by this round's `transmit` call;
+    /// `on_receive` runs with the same `local_round` (the engine calls
+    /// them in lockstep), so it reuses the cached value instead of
+    /// re-dividing on the hot path.
+    located: Option<(u32, u64)>,
 }
 
 impl SeedProcess {
@@ -83,6 +88,7 @@ impl SeedProcess {
             outputs: Vec::new(),
             history: Vec::new(),
             initialized: false,
+            located: None,
         }
     }
 
@@ -100,6 +106,15 @@ impl SeedProcess {
     /// Whether the protocol has completed all phases.
     pub fn is_done(&self) -> bool {
         self.initialized && self.local_round >= u64::from(self.phases) * self.phase_len
+    }
+
+    /// Whether this node's run is *settled*: decided and inactive, so
+    /// every remaining round is a guaranteed no-op — it draws no
+    /// randomness, never transmits, and ignores every reception. Hosts
+    /// embedding the protocol (the `LBAlg` preamble) may skip driving a
+    /// settled instance without changing the execution.
+    pub fn is_settled(&self) -> bool {
+        self.status == Status::Inactive
     }
 
     /// Per-phase activity records, for goodness instrumentation.
@@ -155,12 +170,30 @@ impl Process for SeedProcess {
 
     fn on_input(&mut self, _input: (), _ctx: &mut Context<'_>) {}
 
+    #[inline]
     fn transmit(&mut self, ctx: &mut Context<'_>) -> Action<SeedMsg> {
         if !self.initialized {
             self.init(ctx);
         }
         self.local_round += 1;
-        let Some((phase, pos)) = self.phase_of(self.local_round) else {
+        // Advance the cached phase position incrementally — the local
+        // round counter moves by exactly one per transmit call, so the
+        // division in `phase_of` never needs to run on the hot path.
+        self.located = match self.located {
+            Some((ph, pos)) => {
+                if pos + 1 < self.phase_len {
+                    Some((ph, pos + 1))
+                } else if ph < self.phases {
+                    Some((ph + 1, 0))
+                } else {
+                    None
+                }
+            }
+            None if self.local_round == 1 => Some((1, 0)),
+            None => None,
+        };
+        debug_assert_eq!(self.located, self.phase_of(self.local_round));
+        let Some((phase, pos)) = self.located else {
             return Action::Receive;
         };
 
@@ -197,8 +230,9 @@ impl Process for SeedProcess {
         Action::Receive
     }
 
+    #[inline]
     fn on_receive(&mut self, msg: Option<SeedMsg>, _ctx: &mut Context<'_>) {
-        let Some((_phase, pos)) = self.phase_of(self.local_round) else {
+        let Some((_phase, pos)) = self.located else {
             return;
         };
         if self.status == Status::Active {
@@ -220,6 +254,12 @@ impl Process for SeedProcess {
         }
     }
 
+    #[inline]
+    fn has_outputs(&self) -> bool {
+        !self.outputs.is_empty()
+    }
+
+    #[inline]
     fn take_outputs(&mut self) -> Vec<Decide> {
         std::mem::take(&mut self.outputs)
     }
