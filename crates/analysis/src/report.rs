@@ -95,4 +95,13 @@ mod tests {
     fn pm_uses_table_number_formatting() {
         assert_eq!(pm(12.34, 2.0), "12.3 ± 2.000");
     }
+
+    #[test]
+    fn pm_renders_non_finite_parts_as_dash() {
+        // Non-finite means/tolerances never reach a blessed golden file
+        // (validation rejects them), but a freshly measured NaN must
+        // still render readably rather than as a `NaN` cell.
+        assert_eq!(pm(f64::NAN, 2.0), "— ± 2.000");
+        assert_eq!(pm(1.0, f64::INFINITY), "1.000 ± —");
+    }
 }

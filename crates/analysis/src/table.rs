@@ -129,8 +129,12 @@ impl fmt::Display for Table {
 }
 
 /// Convenience: format a float with sensible precision for tables.
+/// Non-finite values render as `—` (an absent measurement), never as
+/// `NaN`/`inf` cells.
 pub fn fnum(v: f64) -> String {
-    if v == 0.0 {
+    if !v.is_finite() {
+        "—".to_string()
+    } else if v == 0.0 {
         "0".to_string()
     } else if v.abs() >= 1000.0 {
         format!("{v:.0}")
@@ -191,5 +195,14 @@ mod tests {
         assert_eq!(fnum(12.34), "12.3");
         assert_eq!(fnum(0.5), "0.500");
         assert_eq!(fnum(0.0001), "1.00e-4");
+    }
+
+    #[test]
+    fn fnum_renders_non_finite_as_dash() {
+        // Regression: NaN fell through to the `{:.2e}` branch and ±inf
+        // to `{:.0}`, producing `NaN`/`inf` cells in check tables.
+        assert_eq!(fnum(f64::NAN), "—");
+        assert_eq!(fnum(f64::INFINITY), "—");
+        assert_eq!(fnum(f64::NEG_INFINITY), "—");
     }
 }

@@ -1,6 +1,7 @@
 //! Run a declarative scenario — a registry name or a JSON file — and
-//! print experiment-style stats tables; or run a whole **campaign**
-//! with the golden-metric regression gate.
+//! print experiment-style stats tables; run a whole **campaign** with
+//! the golden-metric regression gate; or expand and run a parameter
+//! **sweep** family into curve tables.
 //!
 //! ```text
 //! scenario --list
@@ -13,6 +14,14 @@
 //!          [--check]             # diff against blessed metrics; exit 1 on drift
 //!          [--bless]             # regenerate the golden files
 //!          [--trials N] [--threads N]
+//! scenario sweep <name | sweep.json>
+//!          [--out PATH]          # sweep markdown report (grid + curve pivots)
+//!          [--csv PATH]          # long-format grid table as CSV
+//!          [--export PATH]       # write the sweep spec itself as JSON
+//!          [--golden DIR]        # per-point golden dir (default scenarios/golden)
+//!          [--check]             # golden-gate the pinned points; exit 1 on drift
+//!          [--bless]             # regenerate the pinned points' golden files
+//!          [--trials N] [--threads N]
 //! ```
 //!
 //! Examples:
@@ -24,8 +33,11 @@
 //! cargo run --release -p bench --bin scenario -- campaign --out CAMPAIGN.md
 //! cargo run --release -p bench --bin scenario -- campaign e5 drop-burst --check
 //! cargo run --release -p bench --bin scenario -- campaign --bless
+//! cargo run --release -p bench --bin scenario -- sweep churn-knee --csv churn.csv
+//! cargo run --release -p bench --bin scenario -- sweep loss-grid --check
 //! ```
 
+use scenario::sweep::{self, SweepReport, SweepSpec};
 use scenario::{registry, Campaign, GoldenMetrics, Scenario, ScenarioRunner};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -38,7 +50,9 @@ fn usage() -> String {
      scenario <name | file.json> [--trials N] [--seed S] \
      [--save-trace PATH] [--export PATH]\n       \
      scenario campaign [name | set.json ...] [--out PATH] [--golden DIR] \
-     [--check | --bless] [--trials N] [--threads N]"
+     [--check | --bless] [--trials N] [--threads N]\n       \
+     scenario sweep <name | sweep.json> [--out PATH] [--csv PATH] \
+     [--export PATH] [--golden DIR] [--check | --bless] [--trials N] [--threads N]"
         .to_string()
 }
 
@@ -216,6 +230,61 @@ fn golden_path(dir: &Path, scenario: &str) -> PathBuf {
     dir.join(format!("{scenario}.json"))
 }
 
+/// Writes one golden file per scenario of `report` into `golden_dir`.
+fn bless_goldens(
+    report: &scenario::CampaignReport,
+    golden_dir: &Path,
+) -> Result<(), String> {
+    std::fs::create_dir_all(golden_dir)
+        .map_err(|e| format!("cannot create {}: {e}", golden_dir.display()))?;
+    for golden in report.golden() {
+        let path = golden_path(golden_dir, &golden.scenario);
+        std::fs::write(&path, golden.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("blessed {}", path.display());
+    }
+    Ok(())
+}
+
+/// Diffs `report` against the blessed files in `golden_dir`, printing
+/// the pass/fail table. Missing files surface as failing `golden file`
+/// rows. Returns exit code 1 on any drift.
+fn check_goldens(
+    report: &scenario::CampaignReport,
+    golden_dir: &Path,
+) -> Result<ExitCode, String> {
+    // Load golden files only for the scenarios this run measured, so
+    // pinned subsets check cleanly against a full golden directory.
+    let mut golden = Vec::new();
+    for r in &report.reports {
+        let path = golden_path(golden_dir, &r.scenario.name);
+        match std::fs::read_to_string(&path) {
+            Ok(data) => golden.push(
+                GoldenMetrics::from_json(&data).map_err(|e| format!("{}: {e}", path.display()))?,
+            ),
+            // Missing file: leave no entry; the check reports it as a
+            // failing `golden file` row with the path in hand.
+            Err(_) => eprintln!(
+                "no golden metrics at {} (bless with --bless)",
+                path.display()
+            ),
+        }
+    }
+    let check = report.check(&golden);
+    println!("{}", check.table());
+    if check.passed() {
+        eprintln!("golden check passed: {} comparison(s) ok", check.rows.len());
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "golden check FAILED: {} of {} comparison(s) drifted",
+            check.failures().count(),
+            check.rows.len()
+        );
+        Ok(ExitCode::from(1))
+    }
+}
+
 fn run_campaign(args: &[String]) -> Result<ExitCode, String> {
     let selectors = parse_positionals(
         args,
@@ -276,49 +345,127 @@ fn run_campaign(args: &[String]) -> Result<ExitCode, String> {
     }
 
     if bless {
-        std::fs::create_dir_all(&golden_dir)
-            .map_err(|e| format!("cannot create {}: {e}", golden_dir.display()))?;
-        for golden in report.golden() {
-            let path = golden_path(&golden_dir, &golden.scenario);
-            std::fs::write(&path, golden.to_json())
-                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-            eprintln!("blessed {}", path.display());
-        }
+        bless_goldens(&report, &golden_dir)?;
         return Ok(ExitCode::SUCCESS);
     }
 
     if check {
-        // Load golden files only for the scenarios this campaign ran, so
-        // pinned subsets check cleanly against a full golden directory.
-        let mut golden = Vec::new();
-        for r in &report.reports {
-            let path = golden_path(&golden_dir, &r.scenario.name);
-            match std::fs::read_to_string(&path) {
-                Ok(data) => golden.push(
-                    GoldenMetrics::from_json(&data)
-                        .map_err(|e| format!("{}: {e}", path.display()))?,
-                ),
-                // Missing file: leave no entry; the check reports it as
-                // a failing `golden file` row with the path in hand.
-                Err(_) => eprintln!(
-                    "no golden metrics at {} (bless with `scenario campaign --bless`)",
-                    path.display()
-                ),
-            }
+        return check_goldens(&report, &golden_dir);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------
+// Sweep mode
+// ---------------------------------------------------------------------
+
+fn load_sweep(selector: &str) -> Result<SweepSpec, String> {
+    if let Some(s) = sweep::find_sweep(selector) {
+        return Ok(s);
+    }
+    if selector.ends_with(".json") || Path::new(selector).exists() {
+        let data = std::fs::read_to_string(selector)
+            .map_err(|e| format!("cannot read sweep file {selector}: {e}"))?;
+        return SweepSpec::from_json(&data).map_err(|e| format!("sweep file {selector}: {e}"));
+    }
+    Err(format!(
+        "unknown sweep {selector:?}: not a sweep-registry name (see --list) and no such file"
+    ))
+}
+
+fn run_sweep(args: &[String]) -> Result<ExitCode, String> {
+    let positionals = parse_positionals(
+        args,
+        &["--trials", "--threads", "--golden", "--out", "--csv", "--export"],
+        &["--check", "--bless"],
+    )?;
+    let selector = match positionals.as_slice() {
+        [one] => one,
+        [] => return Err(usage()),
+        [_, extra, ..] => {
+            return Err(format!("unexpected extra argument {extra:?}\n{}", usage()))
         }
-        let check = report.check(&golden);
-        println!("{}", check.table());
-        return if check.passed() {
-            eprintln!("golden check passed: {} comparison(s) ok", check.rows.len());
-            Ok(ExitCode::SUCCESS)
-        } else {
-            eprintln!(
-                "golden check FAILED: {} of {} comparison(s) drifted",
-                check.failures().count(),
-                check.rows.len()
-            );
-            Ok(ExitCode::from(1))
-        };
+    };
+    let check = args.iter().any(|a| a == "--check");
+    let bless = args.iter().any(|a| a == "--bless");
+    if check && bless {
+        return Err(format!("--check and --bless are mutually exclusive\n{}", usage()));
+    }
+    let trials = parse_count(args, "--trials")?;
+    if (bless || check) && trials.is_some() {
+        // Same rule as campaign mode: per-point golden files pin the
+        // sweep's registered trial count.
+        return Err(format!(
+            "--{} does not take --trials (goldens pin the sweep trial counts)",
+            if bless { "bless" } else { "check" }
+        ));
+    }
+    let golden_dir = PathBuf::from(
+        arg_value(args, "--golden").unwrap_or_else(|| GOLDEN_DIR.to_string()),
+    );
+    let threads = parse_count(args, "--threads")?;
+
+    let mut spec = load_sweep(selector)?;
+    if let Some(t) = trials {
+        spec.trials = Some(t);
+    }
+    // Validate (expand) before exporting, mirroring single-scenario
+    // --export: the written file always loads.
+    let full = spec.expand().map_err(|e| e.to_string())?;
+    if let Some(path) = arg_value(args, "--export") {
+        std::fs::write(&path, spec.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("exported sweep spec to {path}");
+    }
+
+    // --check/--bless gate exactly the pinned subset; a plain run
+    // measures the whole grid.
+    let grid = if check || bless { full.pinned() } else { full };
+    let mut campaign = grid.campaign().map_err(|e| e.to_string())?;
+    if let Some(t) = threads {
+        campaign = campaign.threads(t);
+    }
+    let total: usize = campaign.scenarios().map(|s| s.trials).sum();
+    eprintln!(
+        "== sweep {}: {} of {} grid point(s), {total} trial(s), axes {} ==",
+        spec.name,
+        grid.len(),
+        spec.axes.iter().map(|a| a.points.len()).product::<usize>(),
+        spec.axes
+            .iter()
+            .map(|a| a.axis.as_str())
+            .collect::<Vec<_>>()
+            .join(" × "),
+    );
+    if !spec.description.is_empty() {
+        eprintln!("   {}", spec.description);
+    }
+    let start = std::time::Instant::now();
+    let report = campaign.run();
+    eprintln!("   ({:.1?})", start.elapsed());
+
+    let sweep_report = SweepReport::new(&grid, &report);
+    println!("{}", sweep_report.long_table());
+    for t in sweep_report.curve_tables() {
+        println!("{t}");
+    }
+    if let Some(path) = arg_value(args, "--out") {
+        std::fs::write(&path, sweep_report.to_markdown())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote sweep report to {path}");
+    }
+    if let Some(path) = arg_value(args, "--csv") {
+        std::fs::write(&path, sweep_report.to_csv())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote sweep CSV to {path}");
+    }
+
+    if bless {
+        bless_goldens(&report, &golden_dir)?;
+        return Ok(ExitCode::SUCCESS);
+    }
+    if check {
+        return check_goldens(&report, &golden_dir);
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -341,9 +488,20 @@ fn run() -> Result<ExitCode, String> {
             for s in registry::all() {
                 println!("  {:<16} {}", s.name, s.description);
             }
+            println!("registered sweeps:");
+            for s in sweep::sweeps() {
+                let points: usize = s.axes.iter().map(|a| a.points.len()).product();
+                println!(
+                    "  {:<16} [{points} points, {} pinned] {}",
+                    s.name,
+                    s.pinned.len(),
+                    s.description
+                );
+            }
             Ok(ExitCode::SUCCESS)
         }
         Some("campaign") => run_campaign(&args[1..]),
+        Some("sweep") => run_sweep(&args[1..]),
         _ => run_single(&args),
     }
 }

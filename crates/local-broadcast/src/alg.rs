@@ -86,8 +86,9 @@ pub struct LbProcess {
     /// The embedded seed agreement instance for the current preamble.
     preamble: Option<SeedProcess>,
     /// The committed seed for this phase's body, with its consumption
-    /// cursor position.
-    phase_seed: Option<(Seed, usize)>,
+    /// cursor position and the round it was adopted at (used to detect
+    /// a stale seed after a crash window spanned a phase boundary).
+    phase_seed: Option<(Seed, usize, u64)>,
     /// One commitment per completed preamble, for instrumentation.
     commit_history: Vec<Decide>,
     received_keys: HashSet<(ProcId, u64)>,
@@ -145,7 +146,7 @@ impl LbProcess {
     }
 
     fn take_shared_bits(&mut self, k: usize) -> u64 {
-        let (seed, pos) = self
+        let (seed, pos, _) = self
             .phase_seed
             .as_mut()
             .expect("body rounds run with a committed phase seed");
@@ -235,11 +236,12 @@ impl Process for LbProcess {
         if pos < t_s {
             // In the preamble. A settled inner instance (decided and
             // inactive) is a guaranteed no-op for the rest of the
-            // preamble — skip driving it.
-            let inner = self
-                .preamble
-                .as_mut()
-                .expect("preamble instance exists during preamble rounds");
+            // preamble — skip driving it. A node that was down at the
+            // very first phase boundary of its life (crashed from round
+            // 1) has no instance at all; it listens until the body.
+            let Some(inner) = self.preamble.as_mut() else {
+                return Action::Receive;
+            };
             if inner.is_settled() {
                 return Action::Receive;
             }
@@ -251,29 +253,43 @@ impl Process for LbProcess {
 
         if pos == t_s {
             // First body round: adopt the shared seed for this phase.
-            let decide = if agreement {
-                let inner = self
-                    .preamble
-                    .as_ref()
-                    .expect("preamble ran to completion");
-                inner
+            // In the fault-free model the preamble instance exists and
+            // has decided by now (SeedAlg well-formedness). Under churn
+            // a node can be up here with a missed or partially driven
+            // preamble — fall back to a fresh private seed, exactly the
+            // no-coordination ablation arm, so the restarted node keeps
+            // running (uncoordinated, hence measurably slower) instead
+            // of crashing the trial.
+            let decide = match (agreement, &self.preamble) {
+                (true, Some(inner)) if inner.committed().is_some() => inner
                     .committed()
-                    .expect("SeedAlg decides within T_s rounds (well-formedness)")
-                    .clone()
-            } else {
-                // Ablation: a fresh private seed, no coordination.
-                Decide {
+                    .expect("just checked")
+                    .clone(),
+                _ => Decide {
                     owner: self.my_id,
                     seed: Seed::random(ctx.rng, kappa),
-                }
+                },
             };
-            self.phase_seed = Some((decide.seed.clone(), 0));
+            self.phase_seed = Some((decide.seed.clone(), 0, ctx.round));
             self.commit_history.push(decide);
         }
 
         match &self.state {
             NodeState::Receiving => Action::Receive,
             NodeState::Sending { payload, .. } => {
+                // A sender that was down at this phase's adoption round
+                // (`pos == t_s`) has no phase seed to coordinate with —
+                // or, if the crash window also spanned the phase
+                // boundary (`pos == 0`), a *stale* partially-consumed
+                // seed from the previous phase, which could exhaust.
+                // Either way it sits the rest of the phase out rather
+                // than panicking in `take_shared_bits`. A seed is
+                // current iff it was adopted within this phase (whose
+                // first round is `ctx.round - pos`).
+                let phase_start = ctx.round - pos;
+                if !matches!(self.phase_seed, Some((_, _, adopted)) if adopted >= phase_start) {
+                    return Action::Receive;
+                }
                 let payload = payload.clone();
                 // Shared choice 1: participate this round?
                 if self.take_shared_bits(participant_bits) != 0 {

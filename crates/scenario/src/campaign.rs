@@ -159,7 +159,7 @@ impl CampaignReport {
             "per-scenario summary metrics (means over trials)",
             vec![
                 "scenario", "workload", "adversary", "trials", "spec ok", "acks",
-                "deliveries", "first ack",
+                "deliveries", "first ack", "first delivery",
             ],
         );
         for r in &self.reports {
@@ -173,6 +173,7 @@ impl CampaignReport {
                 fnum(m.acks),
                 fnum(m.deliveries),
                 m.ack_latency.map_or("—".into(), fnum),
+                m.delivery_latency.map_or("—".into(), fnum),
             ]);
         }
         t
@@ -230,16 +231,25 @@ impl CampaignReport {
 // ---------------------------------------------------------------------------
 
 /// The summary metrics a golden file pins, measured from one report.
-struct MeasuredMetrics {
-    ack_latency: Option<f64>,
-    acks: f64,
-    deliveries: f64,
-    spec_ok_rate: f64,
-    spec_ok_trials: usize,
+/// (Shared with the sweep report, which pivots the same quantities into
+/// per-axis curve tables.)
+pub(crate) struct MeasuredMetrics {
+    pub(crate) ack_latency: Option<f64>,
+    /// How many trials observed at least one ack — the sample the
+    /// `ack_latency` mean averages over.
+    pub(crate) ack_trials: usize,
+    pub(crate) delivery_latency: Option<f64>,
+    /// How many trials observed the watched delivery — the sample the
+    /// `delivery_latency` mean averages over.
+    pub(crate) delivery_trials: usize,
+    pub(crate) acks: f64,
+    pub(crate) deliveries: f64,
+    pub(crate) spec_ok_rate: f64,
+    pub(crate) spec_ok_trials: usize,
 }
 
 impl MeasuredMetrics {
-    fn of(report: &ScenarioReport) -> Self {
+    pub(crate) fn of(report: &ScenarioReport) -> Self {
         let outcomes = &report.outcomes;
         let mean = |f: &dyn Fn(&TrialOutcome) -> f64| -> f64 {
             outcomes.iter().map(f).sum::<f64>() / outcomes.len().max(1) as f64
@@ -248,10 +258,18 @@ impl MeasuredMetrics {
             .iter()
             .filter_map(|o| o.first_ack.map(|r| r as f64))
             .collect();
+        let dlat: Vec<f64> = outcomes
+            .iter()
+            .filter_map(|o| o.first_delivery.map(|r| r as f64))
+            .collect();
         let spec_ok_trials = outcomes.iter().filter(|o| o.spec_ok).count();
         MeasuredMetrics {
             ack_latency: (!lat.is_empty())
                 .then(|| lat.iter().sum::<f64>() / lat.len() as f64),
+            ack_trials: lat.len(),
+            delivery_latency: (!dlat.is_empty())
+                .then(|| dlat.iter().sum::<f64>() / dlat.len() as f64),
+            delivery_trials: dlat.len(),
             acks: mean(&|o| o.acks as f64),
             deliveries: mean(&|o| o.recvs as f64),
             spec_ok_rate: spec_ok_trials as f64 / outcomes.len().max(1) as f64,
@@ -295,6 +313,26 @@ pub struct GoldenMetrics {
     /// one; `None` for ack-free workloads (and runs where no ack landed
     /// before the horizon). Absence must match absence.
     pub ack_latency: Option<GoldenMetric>,
+    /// How many trials observed an ack — the sample `ack_latency`
+    /// averages over, pinned **exactly**. Without it, a regression where
+    /// some trials stop acking entirely but the survivors' mean stays in
+    /// band would pass the gate. Defaults to 0 for pre-existing golden
+    /// files (which then fail the check until re-blessed).
+    #[serde(default)]
+    pub ack_trials: usize,
+    /// Mean round of the watched first delivery (`FirstDeliveryAt`
+    /// stops) or of the first delivery anywhere otherwise, over trials
+    /// that observed one; `None` when none did. This is the metric
+    /// loss-burst and censoring curves move when ack timing (a fixed
+    /// `LBAlg` schedule) cannot. Defaults to `None` for pre-existing
+    /// golden files.
+    #[serde(default)]
+    pub delivery_latency: Option<GoldenMetric>,
+    /// How many trials observed the watched delivery, pinned exactly
+    /// (same rationale as `ack_trials`). Defaults to 0 for
+    /// pre-existing golden files.
+    #[serde(default)]
+    pub delivery_trials: usize,
     /// Mean acknowledgment outputs per trial.
     pub acks: GoldenMetric,
     /// Mean delivery outputs per trial (`recv`s / `decide`s / learned).
@@ -325,6 +363,12 @@ impl GoldenMetrics {
                 mean,
                 tol: default_tol(mean),
             }),
+            ack_trials: m.ack_trials,
+            delivery_latency: m.delivery_latency.map(|mean| GoldenMetric {
+                mean,
+                tol: default_tol(mean),
+            }),
+            delivery_trials: m.delivery_trials,
             acks: GoldenMetric {
                 mean: m.acks,
                 tol: default_tol(m.acks),
@@ -370,6 +414,7 @@ impl GoldenMetrics {
         }
         let metrics = [
             ("ack_latency", self.ack_latency.as_ref()),
+            ("delivery_latency", self.delivery_latency.as_ref()),
             ("acks", Some(&self.acks)),
             ("deliveries", Some(&self.deliveries)),
             ("spec_ok_rate", Some(&self.spec_ok_rate)),
@@ -408,25 +453,49 @@ impl GoldenMetrics {
             ok: config_ok,
         });
         let m = MeasuredMetrics::of(report);
-        let mut metric = |metric: &str, golden: Option<&GoldenMetric>, actual: Option<f64>| {
+        // The observing-trial count is pinned exactly, not within a
+        // band: losing ack observers is a regression even when the
+        // survivors' latency mean stays within tolerance.
+        rows.push(MetricCheck {
+            scenario: name.clone(),
+            metric: "ack trials".into(),
+            expected: format!("{}/{}", self.ack_trials, self.trials),
+            actual: format!("{}/{}", m.ack_trials, report.outcomes.len()),
+            ok: self.ack_trials == m.ack_trials,
+        });
+        // Same rationale for the watched-delivery count: censoring
+        // curves lose observers before the surviving mean drifts.
+        rows.push(MetricCheck {
+            scenario: name.clone(),
+            metric: "delivery trials".into(),
+            expected: format!("{}/{}", self.delivery_trials, self.trials),
+            actual: format!("{}/{}", m.delivery_trials, report.outcomes.len()),
+            ok: self.delivery_trials == m.delivery_trials,
+        });
+        let metric = |metric: &str, golden: Option<&GoldenMetric>, actual: Option<f64>| {
             let (expected, actual_s, ok) = match (golden, actual) {
                 (Some(g), Some(a)) => (pm(g.mean, g.tol), fnum(a), g.accepts(a)),
                 (Some(g), None) => (pm(g.mean, g.tol), "—".into(), false),
                 (None, Some(a)) => ("—".into(), fnum(a), false),
                 (None, None) => ("—".into(), "—".into(), true),
             };
-            rows.push(MetricCheck {
+            MetricCheck {
                 scenario: name.clone(),
                 metric: metric.into(),
                 expected,
                 actual: actual_s,
                 ok,
-            });
+            }
         };
-        metric("ack latency", self.ack_latency.as_ref(), m.ack_latency);
-        metric("acks", Some(&self.acks), Some(m.acks));
-        metric("deliveries", Some(&self.deliveries), Some(m.deliveries));
-        metric("spec ok rate", Some(&self.spec_ok_rate), Some(m.spec_ok_rate));
+        rows.push(metric("ack latency", self.ack_latency.as_ref(), m.ack_latency));
+        rows.push(metric(
+            "delivery latency",
+            self.delivery_latency.as_ref(),
+            m.delivery_latency,
+        ));
+        rows.push(metric("acks", Some(&self.acks), Some(m.acks)));
+        rows.push(metric("deliveries", Some(&self.deliveries), Some(m.deliveries)));
+        rows.push(metric("spec ok rate", Some(&self.spec_ok_rate), Some(m.spec_ok_rate)));
         rows
     }
 }
@@ -574,6 +643,40 @@ mod tests {
         golden[0].trials += 1;
         let check = report.check(&golden);
         assert!(check.failures().any(|r| r.metric == "config"));
+    }
+
+    #[test]
+    fn check_flags_lost_ack_observers_despite_in_band_mean() {
+        // Regression: the ack-latency mean averages only over trials
+        // that observed an ack, so a run where some trials stop acking
+        // but the survivors' mean stays in band used to pass. The
+        // observing-trial count is now pinned exactly.
+        let mut report = Campaign::new(vec![tiny("a", 5)]).unwrap().run();
+        let golden = report.golden();
+        assert_eq!(golden[0].ack_trials, 2, "both trials ack in this scenario");
+
+        // Trial 1 stops acking; keep trial 0's latency identical, so the
+        // surviving mean moves at most within the blessed tolerance.
+        report.reports[0].outcomes[1].first_ack = None;
+        let check = report.check(&golden);
+        assert!(!check.passed());
+        assert!(check.failures().any(|r| r.metric == "ack trials"));
+    }
+
+    #[test]
+    fn old_golden_files_without_ack_trials_load_and_fail_check() {
+        // Pre-ack_trials golden files (no such key) still parse — the
+        // field defaults to 0 — and then fail the gate loudly until
+        // re-blessed, instead of erroring at load time.
+        let report = Campaign::new(vec![tiny("a", 5)]).unwrap().run();
+        let golden = &report.golden()[0];
+        let json = golden.to_json();
+        let legacy = json.replace("\"ack_trials\": 2,\n  ", "");
+        assert_ne!(json, legacy, "test must actually strip the field");
+        let old = GoldenMetrics::from_json(&legacy).unwrap();
+        assert_eq!(old.ack_trials, 0);
+        let check = report.check(&[old]);
+        assert!(check.failures().any(|r| r.metric == "ack trials"));
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //!   well as trials), its combined markdown report, and the
 //!   golden-metric regression gate
 //!   ([`GoldenMetrics`](campaign::GoldenMetrics), `scenarios/golden/`).
+//! * [`sweep`] — parameter-sweep families: a [`SweepSpec`](sweep::SweepSpec)
+//!   expands one base scenario over up to three named override axes
+//!   into a grid of derived scenarios (run as one campaign), and a
+//!   [`SweepReport`](sweep::SweepReport) pivots the outcomes into
+//!   per-axis curve tables (markdown + CSV). The sweep registry
+//!   ([`sweep::sweeps`]) carries the churn-knee and loss-grid curve
+//!   families.
 //!
 //! Scenarios serialize to JSON (`Scenario::to_json` /
 //! `Scenario::from_json`); the `scenario` binary in the `bench` crate
@@ -55,6 +62,7 @@ pub mod campaign;
 pub mod registry;
 pub mod runner;
 pub mod spec;
+pub mod sweep;
 
 pub use campaign::{Campaign, CampaignReport, CheckReport, GoldenMetric, GoldenMetrics};
 pub use runner::{ScenarioReport, ScenarioRunner, TrialOutcome};
@@ -62,6 +70,7 @@ pub use spec::{
     AdversarySpec, FaultPlanSpec, RegionSpec, Scenario, ScenarioBuilder, ScenarioError, StopSpec,
     TopologySpec, WorkloadSpec,
 };
+pub use sweep::{OverrideSpec, SweepAxis, SweepGrid, SweepPoint, SweepReport, SweepSpec};
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
@@ -73,5 +82,8 @@ pub mod prelude {
     pub use crate::spec::{
         AdversarySpec, CrashSpec, DropSpec, FaultPlanSpec, JamSpec, RegionSpec, Scenario,
         ScenarioBuilder, ScenarioError, StopSpec, TopologySpec, WorkloadSpec,
+    };
+    pub use crate::sweep::{
+        self, GridPoint, OverrideSpec, SweepAxis, SweepGrid, SweepPoint, SweepReport, SweepSpec,
     };
 }

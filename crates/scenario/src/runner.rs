@@ -778,6 +778,46 @@ mod tests {
     }
 
     #[test]
+    fn sender_churn_across_phase_structure_never_panics() {
+        // Regression: a sender crashed over the seed-agreement preamble
+        // used to panic the trial three ways — recovering mid-preamble
+        // (`SeedAlg decides within T_s rounds`), crashing from round 1
+        // (no preamble instance), and a crash window spanning both the
+        // phase boundary and the adoption round (stale partially
+        // consumed phase seed reaching the exhaustion assert). Sweep
+        // grids put such windows everywhere, so every alignment of a
+        // crash window against the phase structure must degrade into
+        // measurable behavior instead of aborting the campaign.
+        for (down_from, up_at) in [
+            (1, Some(100)),
+            (50, Some(200)),
+            (70, Some(140)),
+            (130, Some(260)),
+            (100, Some(400)),
+            (40, None),
+        ] {
+            let s = ScenarioBuilder::new(
+                "sender-churn",
+                TopologySpec::Clique { n: 4, r: 1.0 },
+                WorkloadSpec::LocalBroadcast {
+                    epsilon1: 0.25,
+                    senders: vec![0],
+                    messages_per_sender: 1,
+                },
+            )
+            .crash(0, down_from, up_at)
+            .stop(StopSpec::Rounds { rounds: 600 })
+            .trials(2)
+            .build()
+            .unwrap();
+            let report = ScenarioRunner::new(s).unwrap().run();
+            for o in &report.outcomes {
+                assert_eq!(o.rounds, 600, "window [{down_from}, {up_at:?}]");
+            }
+        }
+    }
+
+    #[test]
     fn amac_flood_scenario_completes() {
         let s = ScenarioBuilder::new(
             "flood",

@@ -652,10 +652,18 @@ impl FaultPlanSpec {
                         )));
                     }
                 }
-                RegionSpec::Disc { radius, .. } => {
+                RegionSpec::Disc { x, y, radius } => {
                     if *radius < 0.0 || !radius.is_finite() {
                         return Err(invalid(format!(
                             "faults: jam disc radius must be >= 0, got {radius}"
+                        )));
+                    }
+                    // A NaN/infinite center would pass the radius check
+                    // yet resolve to an *empty* region — the scenario
+                    // would claim to jam while injecting nothing.
+                    if !x.is_finite() || !y.is_finite() {
+                        return Err(invalid(format!(
+                            "faults: jam disc center must be finite, got ({x}, {y})"
                         )));
                     }
                 }
@@ -1183,6 +1191,31 @@ mod tests {
         assert!(minimal().drop_burst(5, 2, 0.5).build().is_err());
         assert!(minimal().crash(0, 0, None).build().is_err());
         assert!(minimal().trials(0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_jam_disc() {
+        // Regression: only the radius used to be validated, so a
+        // NaN/infinite center passed and silently resolved to an empty
+        // jam region — the plan claimed to jam but injected nothing.
+        for (x, y) in [
+            (f64::NAN, 0.0),
+            (0.0, f64::NAN),
+            (f64::INFINITY, 0.0),
+            (0.0, f64::NEG_INFINITY),
+        ] {
+            let err = minimal().jam_disc(x, y, 1.0, 1, 5).build().unwrap_err();
+            assert!(
+                matches!(&err, ScenarioError::Invalid(m) if m.contains("center")),
+                "({x}, {y}): {err}"
+            );
+        }
+        // Finite centers (and a zero radius) remain legal.
+        assert!(minimal().jam_disc(0.0, 0.0, 0.0, 1, 5).build().is_ok());
+        assert!(minimal()
+            .jam_disc(1.0, 1.0, f64::NAN, 1, 5)
+            .build()
+            .is_err());
     }
 
     #[test]

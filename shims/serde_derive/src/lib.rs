@@ -8,8 +8,8 @@
 //! formatted string parsed back into a `TokenStream`.
 //!
 //! Supported shapes — exactly what the workspace uses:
-//! * named-field structs (with optional `#[serde(with = "module")]` on
-//!   fields),
+//! * named-field structs (with optional `#[serde(with = "module")]`
+//!   and/or `#[serde(default)]` on fields),
 //! * tuple structs (single field = transparent newtype, like serde),
 //! * enums with unit, newtype, tuple, and struct variants (externally
 //!   tagged representation),
@@ -39,11 +39,19 @@ enum Fields {
     Unit,
 }
 
+#[derive(Debug, Default)]
+struct FieldAttrs {
+    /// Module path from `#[serde(with = "path")]`, if present.
+    with: Option<String>,
+    /// Whether `#[serde(default)]` was given: a missing field
+    /// deserializes as `Default::default()` instead of erroring.
+    default: bool,
+}
+
 #[derive(Debug)]
 struct Field {
     name: String,
-    /// Module path from `#[serde(with = "path")]`, if present.
-    with: Option<String>,
+    attrs: FieldAttrs,
 }
 
 #[derive(Debug)]
@@ -104,8 +112,9 @@ impl Cursor {
     }
 
     /// Consumes one attribute (`#[...]` or `#![...]`) if present,
-    /// returning the `with` module path when it is `#[serde(with = "…")]`.
-    fn eat_attribute(&mut self) -> Option<Option<String>> {
+    /// returning any serde field options it carried
+    /// (`#[serde(with = "…")]`, `#[serde(default)]`).
+    fn eat_attribute(&mut self) -> Option<FieldAttrs> {
         match self.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {}
             _ => return None,
@@ -120,19 +129,20 @@ impl Cursor {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
             other => panic!("serde_derive: malformed attribute near {other:?}"),
         };
-        Some(parse_serde_with(group.stream()))
+        Some(parse_serde_attrs(group.stream()))
     }
 
-    /// Skips any attributes; returns the last `with` path seen (a field
-    /// has at most one).
-    fn eat_attributes(&mut self) -> Option<String> {
-        let mut with = None;
-        while let Some(w) = self.eat_attribute() {
-            if w.is_some() {
-                with = w;
+    /// Skips any attributes, merging the serde options they carry (a
+    /// field has at most one `with`; `default` may ride along).
+    fn eat_attributes(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
+        while let Some(a) = self.eat_attribute() {
+            if a.with.is_some() {
+                attrs.with = a.with;
             }
+            attrs.default |= a.default;
         }
-        with
+        attrs
     }
 
     /// Skips `pub`, `pub(crate)`, etc.
@@ -196,29 +206,42 @@ impl Cursor {
     }
 }
 
-fn parse_serde_with(attr_body: TokenStream) -> Option<String> {
+fn parse_serde_attrs(attr_body: TokenStream) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     let mut it = attr_body.into_iter();
     match it.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return None,
+        _ => return attrs,
     }
     let group = match it.next() {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
-        _ => return None,
+        _ => return attrs,
     };
+    // Comma-separated options: `with = "module"` and/or `default`.
     let inner: Vec<TokenTree> = group.stream().into_iter().collect();
-    match inner.as_slice() {
-        [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
-            if key.to_string() == "with" && eq.as_char() == '=' =>
-        {
-            let raw = lit.to_string();
-            Some(raw.trim_matches('"').to_string())
+    let mut i = 0;
+    while i < inner.len() {
+        match &inner[i..] {
+            [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit), ..]
+                if key.to_string() == "with" && eq.as_char() == '=' =>
+            {
+                let raw = lit.to_string();
+                attrs.with = Some(raw.trim_matches('"').to_string());
+                i += 3;
+            }
+            [TokenTree::Ident(key), ..] if key.to_string() == "default" => {
+                attrs.default = true;
+                i += 1;
+            }
+            [TokenTree::Punct(p), ..] if p.as_char() == ',' => i += 1,
+            _ => panic!(
+                "serde_derive: only #[serde(with = \"module\")] and #[serde(default)] \
+                 are supported, got #[serde({})]",
+                group.stream()
+            ),
         }
-        _ => panic!(
-            "serde_derive: only #[serde(with = \"module\")] is supported, got #[serde({})]",
-            group.stream()
-        ),
     }
+    attrs
 }
 
 fn parse_input(input: TokenStream) -> Input {
@@ -257,7 +280,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut cur = Cursor::new(stream);
     let mut fields = Vec::new();
     while !cur.at_end() {
-        let with = cur.eat_attributes();
+        let attrs = cur.eat_attributes();
         cur.eat_visibility();
         let name = cur.expect_ident("field name");
         match cur.next() {
@@ -265,7 +288,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             other => panic!("serde_derive: expected `:` after field {name}, got {other:?}"),
         }
         skip_type(&mut cur);
-        fields.push(Field { name, with });
+        fields.push(Field { name, attrs });
     }
     fields
 }
@@ -380,7 +403,7 @@ fn render_serialize(input: &Input) -> String {
             let mut pushes = String::new();
             for f in fields {
                 let name = &f.name;
-                let expr = match &f.with {
+                let expr = match &f.attrs.with {
                     None => format!("::serde::to_value(&self.{name}).{to_value_err}"),
                     Some(path) => format!(
                         "{path}::serialize(&self.{name}, ::serde::value::ValueSerializer).{to_value_err}"
@@ -446,7 +469,7 @@ fn render_serialize(input: &Input) -> String {
                         let mut pushes = String::new();
                         for f in fields {
                             let fname = &f.name;
-                            let expr = match &f.with {
+                            let expr = match &f.attrs.with {
                                 None => format!("::serde::to_value({fname}).{to_value_err}"),
                                 Some(path) => format!(
                                     "{path}::serialize({fname}, ::serde::value::ValueSerializer).{to_value_err}"
@@ -608,18 +631,27 @@ fn render_named_extraction(
     let mut ctor_fields = String::new();
     for f in fields {
         let fname = &f.name;
-        out.push_str(&format!(
-            "let __pos = __entries.iter().position(|(k, _)| k == \"{fname}\")\
-               .ok_or_else(|| {custom}(format!(\"missing field {fname} in {what}\")))?;\n\
-             let __raw = __entries.remove(__pos).1;\n"
-        ));
-        match &f.with {
-            None => out.push_str(&format!(
-                "let __field_{fname} = ::serde::from_value(__raw).map_err({custom})?;\n"
-            )),
-            Some(path) => out.push_str(&format!(
-                "let __field_{fname} = {path}::deserialize(::serde::value::ValueDeserializer(__raw)).map_err({custom})?;\n"
-            )),
+        let parse = match &f.attrs.with {
+            None => format!("::serde::from_value(__raw).map_err({custom})?"),
+            Some(path) => format!(
+                "{path}::deserialize(::serde::value::ValueDeserializer(__raw)).map_err({custom})?"
+            ),
+        };
+        if f.attrs.default {
+            // `#[serde(default)]`: a missing field takes Default::default().
+            out.push_str(&format!(
+                "let __field_{fname} = match __entries.iter().position(|(k, _)| k == \"{fname}\") {{\n\
+                   Some(__pos) => {{ let __raw = __entries.remove(__pos).1; {parse} }}\n\
+                   None => ::std::default::Default::default(),\n\
+                 }};\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "let __pos = __entries.iter().position(|(k, _)| k == \"{fname}\")\
+                   .ok_or_else(|| {custom}(format!(\"missing field {fname} in {what}\")))?;\n\
+                 let __raw = __entries.remove(__pos).1;\n\
+                 let __field_{fname} = {parse};\n"
+            ));
         }
         ctor_fields.push_str(&format!("{fname}: __field_{fname}, "));
     }

@@ -439,6 +439,49 @@ mod tests {
 }
 
 #[cfg(test)]
+mod derive_default_tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct WithDefault {
+        required: u64,
+        #[serde(default)]
+        extra: u64,
+        #[serde(default)]
+        maybe: Option<String>,
+    }
+
+    #[test]
+    fn missing_defaulted_fields_fall_back_to_default() {
+        let v: WithDefault = from_str("{\"required\": 3}").unwrap();
+        assert_eq!(
+            v,
+            WithDefault {
+                required: 3,
+                extra: 0,
+                maybe: None,
+            }
+        );
+    }
+
+    #[test]
+    fn present_defaulted_fields_still_parse_and_round_trip() {
+        let v = WithDefault {
+            required: 1,
+            extra: 9,
+            maybe: Some("x".into()),
+        };
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<WithDefault>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn missing_required_field_still_errors() {
+        assert!(from_str::<WithDefault>("{\"extra\": 9}").is_err());
+    }
+}
+
+#[cfg(test)]
 mod negative_zero_tests {
     use super::*;
 
