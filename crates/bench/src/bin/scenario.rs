@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! scenario --list
-//! scenario <name | file.json> [--trials N] [--seed S]
+//! scenario <name | file.json> [--trials N] [--seed S] [--shards N]
 //!          [--save-trace PATH]   # trial 0's full trace as JSON
 //!          [--export PATH]       # write the scenario itself as JSON
 //! scenario campaign [name | set.json ...]
@@ -13,7 +13,7 @@
 //!          [--golden DIR]        # golden dir (default scenarios/golden)
 //!          [--check]             # diff against blessed metrics; exit 1 on drift
 //!          [--bless]             # regenerate the golden files
-//!          [--trials N] [--threads N]
+//!          [--trials N] [--threads N] [--shards N]
 //! scenario sweep <name | sweep.json>
 //!          [--out PATH]          # sweep markdown report (grid + curve pivots)
 //!          [--csv PATH]          # long-format grid table as CSV
@@ -21,8 +21,15 @@
 //!          [--golden DIR]        # per-point golden dir (default scenarios/golden)
 //!          [--check]             # golden-gate the pinned points; exit 1 on drift
 //!          [--bless]             # regenerate the pinned points' golden files
-//!          [--trials N] [--threads N]
+//!          [--trials N] [--threads N] [--shards N]
 //! ```
+//!
+//! `--shards N` splits each trial engine's reception resolution across
+//! N worker threads. It is purely a wall-clock knob — traces, reports,
+//! and golden checks are byte-identical for every shard count — and it
+//! composes with `--threads`: trial fan-out fills the cores when there
+//! are many trials, sharding fills them when single trials are huge
+//! (the 50k-node `scale-curve` points).
 //!
 //! Examples:
 //!
@@ -47,12 +54,13 @@ const GOLDEN_DIR: &str = "scenarios/golden";
 
 fn usage() -> String {
     "usage: scenario --list\n       \
-     scenario <name | file.json> [--trials N] [--seed S] \
+     scenario <name | file.json> [--trials N] [--seed S] [--shards N] \
      [--save-trace PATH] [--export PATH]\n       \
      scenario campaign [name | set.json ...] [--out PATH] [--golden DIR] \
-     [--check | --bless] [--trials N] [--threads N]\n       \
+     [--check | --bless] [--trials N] [--threads N] [--shards N]\n       \
      scenario sweep <name | sweep.json> [--out PATH] [--csv PATH] \
-     [--export PATH] [--golden DIR] [--check | --bless] [--trials N] [--threads N]"
+     [--export PATH] [--golden DIR] [--check | --bless] [--trials N] \
+     [--threads N] [--shards N]"
         .to_string()
 }
 
@@ -132,7 +140,7 @@ fn load(selector: &str) -> Result<Scenario, String> {
 fn run_single(args: &[String]) -> Result<ExitCode, String> {
     let positionals = parse_positionals(
         args,
-        &["--trials", "--seed", "--save-trace", "--export"],
+        &["--trials", "--seed", "--shards", "--save-trace", "--export"],
         &[],
     )?;
     let selector = match positionals.as_slice() {
@@ -155,7 +163,10 @@ fn run_single(args: &[String]) -> Result<ExitCode, String> {
 
     // Validate (ScenarioRunner::new) before exporting, so --export can
     // never leave behind a file the loader itself would reject.
-    let runner = ScenarioRunner::new(scenario).map_err(|e| e.to_string())?;
+    let mut runner = ScenarioRunner::new(scenario).map_err(|e| e.to_string())?;
+    if let Some(shards) = parse_count(args, "--shards")? {
+        runner = runner.shards(shards);
+    }
     if let Some(path) = arg_value(args, "--export") {
         std::fs::write(&path, runner.scenario().to_json())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -288,7 +299,7 @@ fn check_goldens(
 fn run_campaign(args: &[String]) -> Result<ExitCode, String> {
     let selectors = parse_positionals(
         args,
-        &["--trials", "--threads", "--golden", "--out"],
+        &["--trials", "--threads", "--shards", "--golden", "--out"],
         &["--check", "--bless"],
     )?;
     let check = args.iter().any(|a| a == "--check");
@@ -326,6 +337,9 @@ fn run_campaign(args: &[String]) -> Result<ExitCode, String> {
     let mut campaign = Campaign::new(scenarios).map_err(|e| e.to_string())?;
     if let Some(t) = threads {
         campaign = campaign.threads(t);
+    }
+    if let Some(s) = parse_count(args, "--shards")? {
+        campaign = campaign.shards(s);
     }
 
     let total: usize = campaign.scenarios().map(|s| s.trials).sum();
@@ -376,7 +390,9 @@ fn load_sweep(selector: &str) -> Result<SweepSpec, String> {
 fn run_sweep(args: &[String]) -> Result<ExitCode, String> {
     let positionals = parse_positionals(
         args,
-        &["--trials", "--threads", "--golden", "--out", "--csv", "--export"],
+        &[
+            "--trials", "--threads", "--shards", "--golden", "--out", "--csv", "--export",
+        ],
         &["--check", "--bless"],
     )?;
     let selector = match positionals.as_slice() {
@@ -424,6 +440,9 @@ fn run_sweep(args: &[String]) -> Result<ExitCode, String> {
     let mut campaign = grid.campaign().map_err(|e| e.to_string())?;
     if let Some(t) = threads {
         campaign = campaign.threads(t);
+    }
+    if let Some(s) = parse_count(args, "--shards")? {
+        campaign = campaign.shards(s);
     }
     let total: usize = campaign.scenarios().map(|s| s.trials).sum();
     eprintln!(

@@ -46,6 +46,11 @@ pub struct Configuration {
     /// default, in which case execution is identical to the fault-free
     /// engine.
     pub faults: FaultPlan,
+    /// How many parallel shards reception resolution fans out over
+    /// (1 = serial). Executions are byte-identical for every value; the
+    /// knob trades thread overhead for intra-trial parallelism on large
+    /// graphs.
+    pub shards: usize,
 }
 
 impl Configuration {
@@ -62,7 +67,18 @@ impl Configuration {
             r: 2.0,
             recording: RecordingPolicy::outputs_only(),
             faults: FaultPlan::none(),
+            shards: 1,
         }
+    }
+
+    /// Shards reception resolution across `shards` worker threads
+    /// (clamped to ≥ 1; 1 keeps the serial path). The CSR adjacency is
+    /// read-only in the hot loop and each shard writes a disjoint vertex
+    /// range of the receive scratch, so every shard count produces a
+    /// byte-identical execution.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Replaces the scheduler with an adaptive one (E8 separation runs).
@@ -130,6 +146,7 @@ pub struct Engine<P: Process> {
     r: f64,
     recording: RecordingPolicy,
     faults: FaultPlan,
+    shards: usize,
     master_seed: u64,
     delta: usize,
     delta_prime: usize,
@@ -191,6 +208,7 @@ impl<P: Process> Engine<P> {
             r: config.r,
             recording: config.recording,
             faults: config.faults,
+            shards: config.shards.max(1),
             master_seed,
             delta,
             delta_prime,
@@ -379,44 +397,10 @@ impl<P: Process> Engine<P> {
             SchedulerBox::Adaptive(s) => s.extra_edges(round, &self.graph, &self.transmitting),
         };
 
-        // `last_sender` needs no reset: it is only read where
-        // `tx_neighbors` is nonzero, which implies a write this round.
-        self.tx_neighbors.fill(0);
-        let transmitting = &self.transmitting;
-        let tx_neighbors = &mut self.tx_neighbors;
-        let last_sender = &mut self.last_sender;
-        for &v in &self.tx_list {
-            for &u in self.graph.reliable_neighbors(NodeId(v)) {
-                tx_neighbors[u.0] += 1;
-                last_sender[u.0] = NodeId(v);
-            }
-        }
-        let mut apply_edge = |a: NodeId, b: NodeId| {
-            if transmitting[a.0] {
-                tx_neighbors[b.0] += 1;
-                last_sender[b.0] = a;
-            }
-            if transmitting[b.0] {
-                tx_neighbors[a.0] += 1;
-                last_sender[a.0] = b;
-            }
-        };
-        match &selection {
-            EdgeSelection::All => {
-                for e in self.graph.extra_edges() {
-                    apply_edge(e.a, e.b);
-                }
-            }
-            EdgeSelection::None => {}
-            EdgeSelection::Subset(edges) => {
-                for e in edges {
-                    debug_assert!(
-                        self.graph.extra_edges().binary_search(e).is_ok(),
-                        "scheduler returned edge {e:?} outside E' \\ E"
-                    );
-                    apply_edge(e.a, e.b);
-                }
-            }
+        if self.shards > 1 {
+            self.resolve_receptions_sharded(&selection);
+        } else {
+            self.resolve_receptions_serial(&selection);
         }
 
         let mut stats = self.recording.channel_stats.then(|| crate::trace::RoundStats {
@@ -538,6 +522,127 @@ impl<P: Process> Engine<P> {
 
         self.round = round;
         self.trace.rounds = round;
+    }
+
+    /// The scatter-form reception resolution: walk each transmitter's
+    /// neighborhood, accumulating into `tx_neighbors`/`last_sender`.
+    /// O(Σ deg(transmitter)); the zero-alloc steady-state path.
+    fn resolve_receptions_serial(&mut self, selection: &EdgeSelection) {
+        // `last_sender` needs no reset: it is only read where
+        // `tx_neighbors` is nonzero, which implies a write this round.
+        self.tx_neighbors.fill(0);
+        let transmitting = &self.transmitting;
+        let tx_neighbors = &mut self.tx_neighbors;
+        let last_sender = &mut self.last_sender;
+        for &v in &self.tx_list {
+            for &u in self.graph.reliable_neighbors(NodeId(v)) {
+                tx_neighbors[u.0] += 1;
+                last_sender[u.0] = NodeId(v);
+            }
+        }
+        let mut apply_edge = |a: NodeId, b: NodeId| {
+            if transmitting[a.0] {
+                tx_neighbors[b.0] += 1;
+                last_sender[b.0] = a;
+            }
+            if transmitting[b.0] {
+                tx_neighbors[a.0] += 1;
+                last_sender[a.0] = b;
+            }
+        };
+        match selection {
+            EdgeSelection::All => {
+                for e in self.graph.extra_edges() {
+                    apply_edge(e.a, e.b);
+                }
+            }
+            EdgeSelection::None => {}
+            EdgeSelection::Subset(edges) => {
+                for e in edges {
+                    debug_assert!(
+                        self.graph.extra_edges().binary_search(e).is_ok(),
+                        "scheduler returned edge {e:?} outside E' \\ E"
+                    );
+                    apply_edge(e.a, e.b);
+                }
+            }
+        }
+    }
+
+    /// The gather-form reception resolution, fanned out over `shards`
+    /// disjoint vertex ranges: each shard counts the transmitting
+    /// neighbors of its own vertices against the read-only CSR adjacency
+    /// and writes only its own slice of `tx_neighbors`/`last_sender`, so
+    /// the result is byte-identical to the serial scatter by
+    /// construction — when exactly one neighbor transmits, both forms
+    /// record that unique sender, and `last_sender` is never read
+    /// otherwise. Per-round `Subset` selections are applied serially on
+    /// top (they are sparse; the O(n + m) gather is the scalable part).
+    fn resolve_receptions_sharded(&mut self, selection: &EdgeSelection) {
+        let n = self.graph.len();
+        let shards = self.shards.min(n.max(1));
+        let chunk = n.div_ceil(shards);
+        let graph: &DualGraph = &self.graph;
+        let transmitting: &[bool] = &self.transmitting;
+        let gather_extra = matches!(selection, EdgeSelection::All);
+        crossbeam::scope(|s| {
+            let mut tx_rest: &mut [u32] = &mut self.tx_neighbors;
+            let mut ls_rest: &mut [NodeId] = &mut self.last_sender;
+            let mut base = 0usize;
+            while !tx_rest.is_empty() {
+                let take = chunk.min(tx_rest.len());
+                let (tx_chunk, tx_tail) = tx_rest.split_at_mut(take);
+                let (ls_chunk, ls_tail) = ls_rest.split_at_mut(take);
+                tx_rest = tx_tail;
+                ls_rest = ls_tail;
+                let lo = base;
+                base += take;
+                s.spawn(move |_| {
+                    for (i, (count, sender)) in
+                        tx_chunk.iter_mut().zip(ls_chunk.iter_mut()).enumerate()
+                    {
+                        let u = NodeId(lo + i);
+                        let mut c = 0u32;
+                        let mut from = NodeId(0);
+                        for &v in graph.reliable_neighbors(u) {
+                            if transmitting[v.0] {
+                                c += 1;
+                                from = v;
+                            }
+                        }
+                        if gather_extra {
+                            for &v in graph.extra_neighbors(u) {
+                                if transmitting[v.0] {
+                                    c += 1;
+                                    from = v;
+                                }
+                            }
+                        }
+                        *count = c;
+                        *sender = from;
+                    }
+                });
+            }
+        })
+        .expect("reception shard panicked");
+        if let EdgeSelection::Subset(edges) = selection {
+            let tx_neighbors = &mut self.tx_neighbors;
+            let last_sender = &mut self.last_sender;
+            for e in edges {
+                debug_assert!(
+                    self.graph.extra_edges().binary_search(e).is_ok(),
+                    "scheduler returned edge {e:?} outside E' \\ E"
+                );
+                if transmitting[e.a.0] {
+                    tx_neighbors[e.b.0] += 1;
+                    last_sender[e.b.0] = e.a;
+                }
+                if transmitting[e.b.0] {
+                    tx_neighbors[e.a.0] += 1;
+                    last_sender[e.a.0] = e.b;
+                }
+            }
+        }
     }
 
     /// Executes `rounds` additional rounds.
@@ -1015,6 +1120,80 @@ mod tests {
         assert_eq!(stats.down, 1);
         assert_eq!(stats.deliveries, 1);
         assert_eq!(stats.transmitters, 1);
+    }
+
+    // -- sharded reception resolution --------------------------------------
+
+    /// One trace of a contention-heavy random topology under the given
+    /// scheduler, faults, and shard count (full recording, so events and
+    /// per-round stats pin the whole execution).
+    fn shard_trace(
+        scheduler: Box<dyn LinkScheduler>,
+        faults: FaultPlan,
+        shards: usize,
+    ) -> Trace<(), u32, u32> {
+        let topo = crate::topology::random_geometric(crate::topology::RggParams {
+            n: 60,
+            side: 3.0,
+            r: 2.0,
+            grey_reliable_p: 0.1,
+            grey_unreliable_p: 0.8,
+            seed: 13,
+        });
+        let procs = (0..60)
+            .map(|v| Beacon::new(v as u32, vec![1 + v as u64 % 5, 3, 7 + v as u64 % 3]))
+            .collect();
+        let config = Configuration::new(topo.graph, scheduler)
+            .with_recording(crate::trace::RecordingPolicy::full())
+            .with_faults(faults)
+            .with_shards(shards);
+        let mut engine = Engine::new(config, procs, Box::new(NullEnvironment), 9);
+        engine.run(12);
+        engine.into_trace()
+    }
+
+    #[test]
+    fn shard_counts_produce_byte_identical_traces() {
+        let some_faults = || {
+            FaultPlan::none()
+                .with_crash(NodeId(4), 3, Some(8))
+                .with_jam(vec![NodeId(1), NodeId(9)], 2, 6)
+                .with_drop_burst(1, 10, 0.5)
+        };
+        type MkScheduler = Box<dyn Fn() -> Box<dyn LinkScheduler>>;
+        let cases: Vec<(MkScheduler, FaultPlan)> = vec![
+            // All-edges: the sharded gather covers the extra adjacency.
+            (Box::new(|| Box::new(AllExtraEdges)), FaultPlan::none()),
+            // No-edges: reliable gather only.
+            (Box::new(|| Box::new(NoExtraEdges)), FaultPlan::none()),
+            // Bernoulli: per-round Subset selections, applied serially on
+            // top of the sharded gather.
+            (
+                Box::new(|| Box::new(crate::scheduler::BernoulliEdges::new(0.5, 3))),
+                FaultPlan::none(),
+            ),
+            // Faults interleave crash/jam/drop with the sharded path.
+            (Box::new(|| Box::new(AllExtraEdges)), some_faults()),
+            (
+                Box::new(|| Box::new(crate::scheduler::BernoulliEdges::new(0.7, 5))),
+                some_faults(),
+            ),
+        ];
+        for (mk_sched, faults) in cases {
+            let serial = shard_trace(mk_sched(), faults.clone(), 1);
+            for shards in [2, 8, 64] {
+                let sharded = shard_trace(mk_sched(), faults.clone(), shards);
+                assert_eq!(serial.events, sharded.events, "shards = {shards}");
+                assert_eq!(serial.round_stats, sharded.round_stats, "shards = {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn with_shards_clamps_to_serial() {
+        let g = DualGraph::reliable_only(2, [(0, 1)]).unwrap();
+        let config = Configuration::new(g, Box::new(NoExtraEdges)).with_shards(0);
+        assert_eq!(config.shards, 1);
     }
 
     #[test]

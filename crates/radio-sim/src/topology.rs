@@ -48,7 +48,11 @@ impl Topology {
     }
 }
 
-fn build_from_embedding(
+/// The O(n²) all-pairs construction, retained as the byte-identity oracle
+/// for the bucketed path: it defines the canonical `(u, v)` lexicographic
+/// order in which `grey_decision` (and hence any wiring RNG behind it) is
+/// consumed.
+fn build_from_embedding_reference(
     emb: Embedding,
     r: f64,
     mut grey_decision: impl FnMut(usize, usize, f64) -> GreyKind,
@@ -58,6 +62,74 @@ fn build_from_embedding(
     let mut extra = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
+            let d = emb.distance(u, v);
+            if d <= 1.0 {
+                reliable.push((u, v));
+            } else if d <= r {
+                match grey_decision(u, v, d) {
+                    GreyKind::Reliable => reliable.push((u, v)),
+                    GreyKind::Unreliable => extra.push((u, v)),
+                    GreyKind::Absent => {}
+                }
+            }
+        }
+    }
+    let graph = DualGraph::new(n, reliable, extra)
+        .expect("generator produced structurally valid edges");
+    Topology {
+        graph,
+        embedding: emb,
+        r,
+    }
+}
+
+/// Spatially bucketed construction: grid-hashes the embedding into cells
+/// of side `max(1, r)` and examines only candidate pairs from the same or
+/// neighboring cells — any pair at distance ≤ `max(1, r)` lands there, and
+/// pairs further apart get no edge and consume no randomness in the
+/// reference either. Per node, candidates are visited in ascending vertex
+/// order, so `grey_decision` is called in the exact `(u, v)` lexicographic
+/// order of [`build_from_embedding_reference`]: output and RNG consumption
+/// are byte-identical while construction drops from O(n²) to
+/// O(n · neighborhood).
+fn build_from_embedding(
+    emb: Embedding,
+    r: f64,
+    mut grey_decision: impl FnMut(usize, usize, f64) -> GreyKind,
+) -> Topology {
+    let n = emb.len();
+    // Non-finite coordinates make floor-based cell hashing ill-defined;
+    // such pairs compare false against every threshold, and the reference
+    // handles them uniformly.
+    let finite = emb.iter().all(|p| p.x.is_finite() && p.y.is_finite());
+    if !finite || !r.is_finite() {
+        return build_from_embedding_reference(emb, r, grey_decision);
+    }
+    let reach = r.max(1.0);
+    let cell = |p: Point| ((p.x / reach).floor() as i64, (p.y / reach).floor() as i64);
+    let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
+        std::collections::HashMap::new();
+    for u in 0..n {
+        // Vertices are inserted in ascending order, so every bucket's
+        // member list is sorted.
+        buckets.entry(cell(emb.position(u))).or_default().push(u);
+    }
+    let mut reliable = Vec::new();
+    let mut extra = Vec::new();
+    let mut candidates: Vec<usize> = Vec::new();
+    for u in 0..n {
+        let (cx, cy) = cell(emb.position(u));
+        candidates.clear();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(members) = buckets.get(&(cx + dx, cy + dy)) {
+                    candidates.extend(members.iter().copied().filter(|&v| v > u));
+                }
+            }
+        }
+        // Restore global ascending order across the up-to-9 sorted runs.
+        candidates.sort_unstable();
+        for &v in &candidates {
             let d = emb.distance(u, v);
             if d <= 1.0 {
                 reliable.push((u, v));
@@ -97,6 +169,36 @@ pub fn from_embedding(emb: Embedding, r: f64, grey: GreyKind) -> Topology {
     build_from_embedding(emb, r, |_, _, _| grey)
 }
 
+/// Errors from invalid [`RggParams`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RggError {
+    /// `n` was zero: the deployment would be an empty (degenerate) graph.
+    NoNodes,
+    /// `side` was non-finite or non-positive.
+    BadSide(f64),
+    /// `r` was non-finite or below 1 (the model requires `r ≥ 1`).
+    BadRadius(f64),
+    /// A grey wiring probability fell outside `[0, 1]` (named field,
+    /// offending value). Out-of-range values panic deep inside the RNG's
+    /// `gen_bool`; NaN is rejected here too.
+    BadProbability(&'static str, f64),
+}
+
+impl std::fmt::Display for RggError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RggError::NoNodes => write!(f, "rgg: n must be >= 1"),
+            RggError::BadSide(s) => write!(f, "rgg: side must be finite and > 0, got {s}"),
+            RggError::BadRadius(r) => write!(f, "rgg: r must be finite and >= 1, got {r}"),
+            RggError::BadProbability(name, p) => {
+                write!(f, "rgg: {name} must be in [0, 1], got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RggError {}
+
 /// Parameters for [`random_geometric`].
 #[derive(Debug, Clone, Copy)]
 pub struct RggParams {
@@ -128,16 +230,47 @@ impl Default for RggParams {
     }
 }
 
-/// A random geometric dual graph: nodes placed uniformly in a
-/// `side × side` square; pairs within distance 1 are reliable; grey-zone
-/// pairs are wired per the probabilities in `params`.
-pub fn random_geometric(params: RggParams) -> Topology {
+impl RggParams {
+    /// Checks the parameters up front, instead of panicking deep inside
+    /// placement/wiring (`gen_bool` aborts on probabilities outside
+    /// `[0, 1]`) or silently producing a degenerate graph (`n = 0`,
+    /// non-positive `side`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as an [`RggError`].
+    pub fn validate(&self) -> Result<(), RggError> {
+        if self.n == 0 {
+            return Err(RggError::NoNodes);
+        }
+        if !self.side.is_finite() || self.side <= 0.0 {
+            return Err(RggError::BadSide(self.side));
+        }
+        if !self.r.is_finite() || self.r < 1.0 {
+            return Err(RggError::BadRadius(self.r));
+        }
+        for (name, p) in [
+            ("grey_reliable_p", self.grey_reliable_p),
+            ("grey_unreliable_p", self.grey_unreliable_p),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(RggError::BadProbability(name, p));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn rgg_wiring(
+    params: RggParams,
+    build: impl FnOnce(Embedding, f64, &mut dyn FnMut(usize, usize, f64) -> GreyKind) -> Topology,
+) -> Topology {
     let mut rng = derive_stream(params.seed, StreamKind::Topology, 0);
     let points = (0..params.n)
         .map(|_| Point::new(rng.gen::<f64>() * params.side, rng.gen::<f64>() * params.side))
         .collect();
     let mut wiring_rng = derive_stream(params.seed, StreamKind::Topology, 1);
-    build_from_embedding(Embedding::new(points), params.r, |_, _, _| {
+    build(Embedding::new(points), params.r, &mut |_, _, _| {
         if wiring_rng.gen_bool(params.grey_reliable_p) {
             GreyKind::Reliable
         } else if wiring_rng.gen_bool(params.grey_unreliable_p) {
@@ -145,6 +278,48 @@ pub fn random_geometric(params: RggParams) -> Topology {
         } else {
             GreyKind::Absent
         }
+    })
+}
+
+/// A random geometric dual graph: nodes placed uniformly in a
+/// `side × side` square; pairs within distance 1 are reliable; grey-zone
+/// pairs are wired per the probabilities in `params`. Construction is
+/// spatially bucketed (O(n · neighborhood), not O(n²)), byte-identical to
+/// [`random_geometric_reference`].
+///
+/// # Panics
+///
+/// Panics when `params` fail [`RggParams::validate`]; use
+/// [`try_random_geometric`] for a `Result`.
+pub fn random_geometric(params: RggParams) -> Topology {
+    match try_random_geometric(params) {
+        Ok(t) => t,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`random_geometric`].
+///
+/// # Errors
+///
+/// Returns an [`RggError`] when `params` fail [`RggParams::validate`].
+pub fn try_random_geometric(params: RggParams) -> Result<Topology, RggError> {
+    params.validate()?;
+    Ok(rgg_wiring(params, |emb, r, grey| build_from_embedding(emb, r, grey)))
+}
+
+/// The O(n²) all-pairs reference construction of [`random_geometric`],
+/// retained as the byte-identity test oracle for the bucketed path.
+///
+/// # Panics
+///
+/// Panics when `params` fail [`RggParams::validate`].
+pub fn random_geometric_reference(params: RggParams) -> Topology {
+    if let Err(e) = params.validate() {
+        panic!("{e}");
+    }
+    rgg_wiring(params, |emb, r, grey| {
+        build_from_embedding_reference(emb, r, grey)
     })
 }
 
@@ -436,6 +611,117 @@ mod tests {
     #[should_panic(expected = "grey zone")]
     fn two_tier_rejects_reliable_radius() {
         let _ = two_tier(3, 3, 0.9, 2.0);
+    }
+
+    #[test]
+    fn bucketed_rgg_matches_reference_oracle() {
+        // Several (n, side, r, grey) shapes: dense single-cell, sparse
+        // many-cell, r = 1 (no grey zone), and skewed grey probabilities.
+        for (n, side, r, gr, gu, seed) in [
+            (40, 3.0, 2.0, 0.1, 0.8, 5),
+            (1, 1.0, 1.0, 0.5, 0.5, 0),
+            (64, 1.5, 2.5, 0.0, 1.0, 11),
+            (80, 12.0, 1.0, 0.3, 0.3, 23),
+            (120, 9.0, 1.75, 1.0, 0.0, 7),
+            (50, 40.0, 3.0, 0.5, 0.5, 99),
+        ] {
+            let params = RggParams {
+                n,
+                side,
+                r,
+                grey_reliable_p: gr,
+                grey_unreliable_p: gu,
+                seed,
+            };
+            let fast = random_geometric(params);
+            let slow = random_geometric_reference(params);
+            assert_eq!(fast.graph, slow.graph, "{params:?}");
+            assert_eq!(fast.embedding, slow.embedding, "{params:?}");
+            fast.check_geographic().unwrap();
+        }
+    }
+
+    #[test]
+    fn bucketed_build_handles_non_finite_coordinates() {
+        // Floor-hashing NaN/∞ is ill-defined; the builder must fall back
+        // to the reference instead of mis-bucketing.
+        let emb = Embedding::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(f64::NAN, 1.0),
+            Point::new(f64::INFINITY, 2.0),
+        ]);
+        let t = from_embedding(emb.clone(), 2.0, GreyKind::Unreliable);
+        let r = build_from_embedding_reference(emb, 2.0, |_, _, _| GreyKind::Unreliable);
+        assert_eq!(t.graph, r.graph);
+        assert!(t
+            .graph
+            .is_reliable_edge(crate::graph::NodeId(0), crate::graph::NodeId(1)));
+    }
+
+    #[test]
+    fn rgg_params_validate_rejects_bad_inputs() {
+        let ok = RggParams::default();
+        assert_eq!(ok.validate(), Ok(()));
+        let cases = [
+            (RggParams { n: 0, ..ok }, RggError::NoNodes),
+            (RggParams { side: 0.0, ..ok }, RggError::BadSide(0.0)),
+            (
+                RggParams {
+                    side: f64::NAN,
+                    ..ok
+                },
+                RggError::BadSide(f64::NAN),
+            ),
+            (
+                RggParams {
+                    side: f64::INFINITY,
+                    ..ok
+                },
+                RggError::BadSide(f64::INFINITY),
+            ),
+            (RggParams { r: 0.5, ..ok }, RggError::BadRadius(0.5)),
+            (
+                RggParams { r: f64::NAN, ..ok },
+                RggError::BadRadius(f64::NAN),
+            ),
+            (
+                RggParams {
+                    grey_reliable_p: 1.5,
+                    ..ok
+                },
+                RggError::BadProbability("grey_reliable_p", 1.5),
+            ),
+            (
+                RggParams {
+                    grey_unreliable_p: -0.1,
+                    ..ok
+                },
+                RggError::BadProbability("grey_unreliable_p", -0.1),
+            ),
+            (
+                RggParams {
+                    grey_unreliable_p: f64::NAN,
+                    ..ok
+                },
+                RggError::BadProbability("grey_unreliable_p", f64::NAN),
+            ),
+        ];
+        for (params, want) in cases {
+            let got = try_random_geometric(params).unwrap_err();
+            // NaN payloads don't compare equal; match on the rendered
+            // message, which is what the panic path surfaces.
+            assert_eq!(got.to_string(), want.to_string(), "{params:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn random_geometric_panics_with_typed_message() {
+        let _ = random_geometric(RggParams {
+            grey_reliable_p: 2.0,
+            ..Default::default()
+        });
     }
 
     #[test]

@@ -127,6 +127,32 @@ proptest! {
     }
 
     #[test]
+    fn bucketed_rgg_is_byte_identical_to_reference(
+        n in 1usize..60,
+        side in 0.5f64..12.0,
+        seed in 0u64..1000,
+        r in 1.0f64..3.5,
+        grey_rel in 0.0f64..1.0,
+        grey_unrel in 0.0f64..1.0,
+    ) {
+        let params = RggParams {
+            n,
+            side,
+            r,
+            grey_reliable_p: grey_rel,
+            grey_unreliable_p: grey_unrel,
+            seed,
+        };
+        // The bucketed construction must consume the wiring RNG in the
+        // same (u, v) lexicographic order as the all-pairs reference, so
+        // graph and embedding come out identical — not merely isomorphic.
+        let fast = topology::random_geometric(params);
+        let slow = topology::random_geometric_reference(params);
+        prop_assert_eq!(fast.graph, slow.graph);
+        prop_assert_eq!(fast.embedding, slow.embedding);
+    }
+
+    #[test]
     fn line_topology_reliable_edges_match_spacing(
         n in 2usize..15,
         spacing in 0.3f64..1.4,

@@ -106,6 +106,20 @@ impl Campaign {
         self
     }
 
+    /// Shards each trial engine's reception resolution across `shards`
+    /// threads (default 1 = serial). Like [`Campaign::threads`] this is
+    /// purely a wall-clock knob — outcomes, reports, and golden checks
+    /// are byte-identical for every count. Useful when a campaign has
+    /// few, huge scenarios (a scale curve) rather than many small ones:
+    /// intra-trial sharding keeps the cores busy where trial fan-out
+    /// alone cannot.
+    pub fn shards(mut self, shards: usize) -> Self {
+        for r in &mut self.runners {
+            r.set_shards(shards);
+        }
+        self
+    }
+
     /// The scenarios in run order.
     pub fn scenarios(&self) -> impl Iterator<Item = &Scenario> {
         self.runners.iter().map(|r| r.scenario())
@@ -605,6 +619,26 @@ mod tests {
                 assert_eq!(a.recvs, b.recvs);
                 assert_eq!(a.totals, b.totals);
             }
+        }
+    }
+
+    #[test]
+    fn golden_metrics_are_invariant_across_shard_counts() {
+        // Golden files are blessed from serial runs; a sharded campaign
+        // must reproduce them exactly, so --shards can never trip (or
+        // mask) the regression gate.
+        let golden = Campaign::new(vec![tiny("a", 5), tiny("b", 9)])
+            .unwrap()
+            .run()
+            .golden();
+        for shards in [2, 8] {
+            let report = Campaign::new(vec![tiny("a", 5), tiny("b", 9)])
+                .unwrap()
+                .shards(shards)
+                .run();
+            assert_eq!(report.golden(), golden, "{shards} shards");
+            let check = report.check(&golden);
+            assert!(check.passed(), "{shards} shards:\n{}", check.table());
         }
     }
 

@@ -20,9 +20,12 @@
 //!
 //! The checked-in sweep registry ([`sweeps`]) realizes the ROADMAP
 //! follow-ons: `churn-knee` (crash/recover-rate grid over the `churn`
-//! base — the §4.2 preamble-amortization knee) and `loss-grid`
+//! base — the §4.2 preamble-amortization knee), `loss-grid`
 //! (`drops.p` × burst length over `drop-burst`, `LBAlg` vs. the Decay
-//! baseline).
+//! baseline), and `scale-curve` (node count up to 50k × link-inclusion
+//! probability on a constant-density deployment — the scale-out
+//! throughput curve the bucketed topology builder and sharded engine
+//! make practical).
 
 use crate::campaign::{Campaign, CampaignReport, MeasuredMetrics};
 use crate::spec::{
@@ -128,6 +131,17 @@ pub enum OverrideSpec {
         /// New per-round (or per-epoch) inclusion probability.
         p: f64,
     },
+    /// Rescales the topology's node count: sets `n` on a base whose
+    /// family takes an explicit node-count parameter (`Line`, `Ring`,
+    /// `Clique`, `RandomGeometric`, `ConstantDensity`). Rejected for
+    /// composite families (`Grid`, `GreySandwich`, …) whose size is the
+    /// product or sum of several fields — a "size" axis that silently
+    /// left them unscaled is the same no-op failure mode the field
+    /// overrides above reject.
+    Size {
+        /// New node count (≥ 1; validated by scenario validation).
+        n: usize,
+    },
     /// Replaces the crash list with **periodic churn**: each node in
     /// `nodes` is down for `down` rounds at the start of every
     /// `period`-round cycle, beginning at round `start` and repeating
@@ -195,6 +209,19 @@ impl OverrideSpec {
                          adversary, got {}",
                         other.name()
                     )));
+                }
+            },
+            OverrideSpec::Size { n } => match &mut s.topology {
+                TopologySpec::Line { n: base, .. }
+                | TopologySpec::Ring { n: base, .. }
+                | TopologySpec::Clique { n: base, .. }
+                | TopologySpec::RandomGeometric { n: base, .. }
+                | TopologySpec::ConstantDensity { n: base, .. } => *base = *n,
+                _ => {
+                    return Err(invalid(
+                        "sweep: Size override needs a topology with an explicit node \
+                         count (Line, Ring, Clique, RandomGeometric, ConstantDensity)",
+                    ));
                 }
             },
             OverrideSpec::Churn {
@@ -662,9 +689,57 @@ impl SweepReport {
         t
     }
 
-    /// The CSV artifact: the long table in CSV form.
+    /// The CSV artifact: the [`SweepReport::long_table`] schema (same
+    /// header, same row order), but with **full-precision** values
+    /// (shortest round-trip `f64` formatting) and **empty cells** for
+    /// unmeasured metrics. The rounded `fnum` rendering and `—` dashes
+    /// are display conventions for the markdown and terminal tables
+    /// only — a consumer fitting curves from the CSV needs the raw
+    /// means, and an em-dash cell forces every column to be parsed as
+    /// text.
     pub fn to_csv(&self) -> String {
-        self.long_table().to_csv()
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let opt = |v: Option<f64>| v.map(|v| v.to_string()).unwrap_or_default();
+        let mut headers = vec!["point".to_string()];
+        headers.extend(self.axes.iter().cloned());
+        headers.extend(
+            [
+                "trials",
+                "spec_ok_rate",
+                "acks",
+                "deliveries",
+                "ack_latency",
+                "ack_trials",
+                "delivery_latency",
+                "delivery_trials",
+            ]
+            .map(String::from),
+        );
+        let mut out = headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",");
+        out.push('\n');
+        for r in &self.rows {
+            let mut row = vec![r.scenario.clone()];
+            row.extend(r.labels.iter().cloned());
+            row.extend([
+                r.trials.to_string(),
+                r.spec_ok_rate.to_string(),
+                r.acks.to_string(),
+                r.deliveries.to_string(),
+                opt(r.ack_latency),
+                r.ack_trials.to_string(),
+                opt(r.delivery_latency),
+                r.delivery_trials.to_string(),
+            ]);
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
     }
 
     /// Looks up a measured metric by exact label coordinates.
@@ -769,7 +844,7 @@ impl SweepReport {
 
 /// All registered sweep families, realizing the ROADMAP follow-ons.
 pub fn sweeps() -> Vec<SweepSpec> {
-    vec![churn_knee(), loss_grid()]
+    vec![churn_knee(), loss_grid(), scale_curve()]
 }
 
 /// The registered sweep names, in registry order.
@@ -928,6 +1003,66 @@ fn loss_grid() -> SweepSpec {
             "drop-burst@p=0.9,burst=61,alg=lb".into(),
             "drop-burst@p=0.9,burst=61,alg=decay".into(),
             "drop-burst@p=0.99,burst=128,alg=lb".into(),
+        ],
+    }
+}
+
+/// The scale-out curve: node count × link-inclusion probability over
+/// the `e9` constant-density deployment, re-aimed at wall-clock scale.
+/// Constant density keeps Δ (and so every per-neighborhood quantity)
+/// flat as `n` grows — the honest base for a scale curve, because each
+/// point's cost is linear in `n` while the measured local behavior
+/// stays comparable across the axis. The workload is the Decay flood
+/// with a short fixed horizon: the `LBAlg` preamble runs thousands of
+/// rounds before the first ack, which would turn the 50k-node points
+/// into minutes while measuring the same locality story. Largest point:
+/// 50,000 nodes — the grid the bucketed RGG builder and sharded
+/// reception engine exist to make routine.
+fn scale_curve() -> SweepSpec {
+    let mut base = crate::registry::find("e9").expect("e9 is registered");
+    base.name = "scale".into();
+    base.description = "constant-density deployment rescaled along the node-count axis; \
+                        one Decay flood from node 0 over a fixed 24-round horizon"
+        .into();
+    base.workload = WorkloadSpec::Decay { senders: vec![0] };
+    base.stop = StopSpec::Rounds { rounds: 24 };
+    let size = |label: &str, n: usize| SweepPoint {
+        label: label.into(),
+        set: vec![OverrideSpec::Size { n }],
+    };
+    let adv = |label: &str, p: f64| SweepPoint {
+        label: label.into(),
+        set: vec![OverrideSpec::AdversaryP { p }],
+    };
+    SweepSpec {
+        name: "scale-curve".into(),
+        description: "scale-out throughput: node count (1k → 50k) × link-inclusion \
+                      probability on a constant-density deployment; per-point cost \
+                      grows linearly in n while per-neighborhood behavior stays flat"
+            .into(),
+        base,
+        axes: vec![
+            SweepAxis {
+                axis: "n".into(),
+                points: vec![
+                    size("1000", 1_000),
+                    size("2000", 2_000),
+                    size("5000", 5_000),
+                    size("10000", 10_000),
+                    size("20000", 20_000),
+                    size("50000", 50_000),
+                ],
+            },
+            SweepAxis {
+                axis: "adv".into(),
+                points: vec![adv("0.5", 0.5), adv("0.9", 0.9)],
+            },
+        ],
+        trials: Some(2),
+        pinned: vec![
+            "scale@n=1000,adv=0.5".into(),
+            "scale@n=10000,adv=0.5".into(),
+            "scale@n=50000,adv=0.5".into(),
         ],
     }
 }
@@ -1172,7 +1307,65 @@ mod tests {
         }
         assert!(find_sweep("CHURN-KNEE").is_some());
         assert!(find_sweep("nope").is_none());
-        assert_eq!(sweep_names(), vec!["churn-knee", "loss-grid"]);
+        assert_eq!(sweep_names(), vec!["churn-knee", "loss-grid", "scale-curve"]);
+    }
+
+    #[test]
+    fn scale_curve_reaches_fifty_thousand_nodes() {
+        let grid = scale_curve().expand().unwrap();
+        let max_n = grid
+            .points()
+            .iter()
+            .map(|p| p.scenario.topology.node_count())
+            .max()
+            .unwrap();
+        assert!(max_n >= 50_000, "largest point is {max_n} nodes");
+        // Density (and so Δ) is pinned while n sweeps: every point stays
+        // on the constant-density family.
+        for p in grid.points() {
+            assert!(
+                matches!(
+                    p.scenario.topology,
+                    TopologySpec::ConstantDensity { density, r, .. }
+                        if density == 8.0 && r == 1.5
+                ),
+                "{}",
+                p.scenario.name
+            );
+        }
+        // The pinned subset covers the scale extremes the BENCH scale
+        // section tracks.
+        assert!(scale_curve()
+            .pinned
+            .contains(&"scale@n=50000,adv=0.5".to_string()));
+    }
+
+    #[test]
+    fn size_override_rescales_explicit_node_counts() {
+        let mut s = tiny_base();
+        OverrideSpec::Size { n: 9 }.apply(&mut s).unwrap();
+        assert_eq!(s.topology.node_count(), 9);
+        s.topology = TopologySpec::ConstantDensity {
+            n: 16,
+            density: 8.0,
+            r: 1.5,
+            seed: 1,
+        };
+        OverrideSpec::Size { n: 256 }.apply(&mut s).unwrap();
+        assert_eq!(s.topology.node_count(), 256);
+        // Composite families have no single n knob: rejecting beats
+        // silently sweeping nothing.
+        s.topology = TopologySpec::Grid {
+            rows: 2,
+            cols: 2,
+            spacing: 1.0,
+            r: 1.0,
+        };
+        let err = OverrideSpec::Size { n: 9 }.apply(&mut s).unwrap_err();
+        assert!(
+            matches!(&err, ScenarioError::Invalid(m) if m.contains("Size")),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1213,6 +1406,47 @@ mod tests {
         let md = sweep.to_markdown();
         assert!(md.contains("# Sweep report: t"));
         assert!(md.contains("## Grid") && md.contains("## Curves"));
+    }
+
+    #[test]
+    fn csv_emits_full_precision_values_and_empty_cells() {
+        // Regression: the CSV artifact used to reuse the markdown
+        // table's `fnum` rounding and `—` dashes, so curve fits lost
+        // precision and every latency column parsed as text. The CSV
+        // now carries shortest-round-trip f64 values and leaves
+        // unmeasured cells empty; the display tables keep the dashes.
+        let report = SweepReport {
+            name: "t".into(),
+            description: "demo".into(),
+            axes: vec!["p".into()],
+            axis_labels: vec![vec!["a".into()]],
+            rows: vec![SweepRow {
+                labels: vec!["a".into()],
+                scenario: "tiny@p=a".into(),
+                trials: 3,
+                ack_latency: Some(1.0 / 3.0),
+                ack_trials: 3,
+                delivery_latency: None,
+                delivery_trials: 0,
+                acks: 1234.5678901234567,
+                deliveries: 2.0,
+                spec_ok_rate: 1.0,
+            }],
+        };
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "point,p,trials,spec_ok_rate,acks,deliveries,ack_latency,ack_trials,\
+             delivery_latency,delivery_trials"
+        );
+        assert_eq!(
+            lines[1],
+            "tiny@p=a,a,3,1,1234.5678901234567,2,0.3333333333333333,3,,0"
+        );
+        assert!(!csv.contains('—'), "dashes are display-table-only");
+        // The markdown/terminal table keeps its display conventions.
+        assert!(report.long_table().to_csv().contains('—'));
     }
 
     #[test]

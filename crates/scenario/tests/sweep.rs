@@ -195,6 +195,7 @@ fn checked_in_sweep_files_match_the_registry() {
     for (file, name) in [
         ("scenarios/sweeps/churn_knee.json", "churn-knee"),
         ("scenarios/sweeps/loss_grid.json", "loss-grid"),
+        ("scenarios/sweeps/scale_curve.json", "scale-curve"),
     ] {
         let data = std::fs::read_to_string(repo_dir(file))
             .unwrap_or_else(|e| panic!("{file}: {e}"));
