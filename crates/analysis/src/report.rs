@@ -49,6 +49,22 @@ pub fn pm(mean: f64, tolerance: f64) -> String {
     format!("{} ± {}", fnum(mean), fnum(tolerance))
 }
 
+/// A run-performance footer for written campaign/sweep reports: total
+/// wall-clock, aggregate trial throughput, and worker-thread count, so
+/// every checked-in report doubles as a perf datapoint.
+///
+/// This is deliberately **not** part of [`markdown_report`] /
+/// `to_markdown` output: those stay pure functions of the measured
+/// metrics (byte-identical across runs), and the caller appends the
+/// footer only when writing a report file.
+pub fn perf_footer(trials: usize, wall_s: f64, threads: usize) -> String {
+    let rate = if wall_s > 0.0 { trials as f64 / wall_s } else { 0.0 };
+    format!(
+        "\n---\n\n_Run: {trials} trials in {wall_s:.2} s ({rate:.0} trials/s) on {threads} worker thread{}._\n",
+        if threads == 1 { "" } else { "s" }
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +105,16 @@ mod tests {
         assert!(!within_tolerance(1.0, f64::NAN, 10.0));
         assert!(!within_tolerance(1.0, 1.0, -0.5));
         assert!(!within_tolerance(1.0, 1.0, f64::NAN));
+    }
+
+    #[test]
+    fn perf_footer_reports_rate_and_threads() {
+        let f = perf_footer(448, 2.0, 8);
+        assert!(f.contains("448 trials in 2.00 s"), "{f}");
+        assert!(f.contains("(224 trials/s)"), "{f}");
+        assert!(f.contains("8 worker threads"), "{f}");
+        let one = perf_footer(1, 0.0, 1);
+        assert!(one.contains("(0 trials/s) on 1 worker thread."), "{one}");
     }
 
     #[test]

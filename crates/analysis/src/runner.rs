@@ -14,6 +14,36 @@
 
 use parking_lot::Mutex;
 
+/// One completed job, as seen by a [`run_jobs_observed`] observer:
+/// which job, which worker ran it, and how long it took. Observations
+/// arrive in completion order (concurrently, from worker threads); the
+/// returned result vector stays index-ordered regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobObservation {
+    /// Job index in `0..jobs`.
+    pub job: usize,
+    /// Worker index in `0..effective_threads(..)` (0 on the sequential
+    /// fast path).
+    pub worker: usize,
+    /// Wall-clock nanoseconds `f(job)` took on its worker.
+    pub elapsed_ns: u64,
+}
+
+/// The worker count [`run_jobs_on`] actually uses for a `threads`
+/// request: available parallelism when `None`, clamped to `>= 1` and
+/// to the job count. Exposed so pool telemetry can size per-worker
+/// accumulators to match the real fan-out.
+pub fn effective_threads(jobs: usize, threads: Option<usize>) -> usize {
+    threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+        .min(jobs.max(1))
+}
+
 /// Runs `jobs` independent evaluations of `f` (given the job index)
 /// across available cores, returning results ordered by job index.
 pub fn run_jobs<T, F>(jobs: usize, f: F) -> Vec<T>
@@ -34,30 +64,57 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = threads
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        })
-        .max(1)
-        .min(jobs.max(1));
+    run_jobs_observed(jobs, threads, f, |_| {})
+}
+
+/// The observed pool: like [`run_jobs_on`], additionally reporting a
+/// [`JobObservation`] to `observe` as each job completes — the hook
+/// campaign telemetry uses for per-trial wall-clock histograms, worker
+/// utilization, and heartbeat progress. `observe` is called from
+/// worker threads (unsynchronized with other observers) and must not
+/// influence results: job fan-out and result order are identical to
+/// [`run_jobs_on`] by construction.
+pub fn run_jobs_observed<T, F, O>(jobs: usize, threads: Option<usize>, f: F, observe: O) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    O: Fn(JobObservation) + Sync,
+{
+    let threads = effective_threads(jobs, threads);
     if threads <= 1 || jobs <= 1 {
-        return (0..jobs).map(f).collect();
+        return (0..jobs)
+            .map(|i| {
+                let start = std::time::Instant::now();
+                let out = f(i);
+                observe(JobObservation {
+                    job: i,
+                    worker: 0,
+                    elapsed_ns: start.elapsed().as_nanos() as u64,
+                });
+                out
+            })
+            .collect();
     }
 
     let results: Mutex<Vec<Option<T>>> =
         Mutex::new((0..jobs).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
     crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
+        for worker in 0..threads {
+            let results = &results;
+            let next = &next;
+            let f = &f;
+            let observe = &observe;
+            scope.spawn(move |_| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= jobs {
                     break;
                 }
+                let start = std::time::Instant::now();
                 let out = f(i);
+                let elapsed_ns = start.elapsed().as_nanos() as u64;
                 results.lock()[i] = Some(out);
+                observe(JobObservation { job: i, worker, elapsed_ns });
             });
         }
     })
@@ -144,5 +201,40 @@ mod tests {
     fn oversubscribed_thread_request_is_clamped() {
         let out = run_jobs_on(3, Some(64), |i| i);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn effective_threads_clamps_like_the_pool() {
+        assert_eq!(effective_threads(10, Some(4)), 4);
+        assert_eq!(effective_threads(3, Some(64)), 3);
+        assert_eq!(effective_threads(10, Some(0)), 1);
+        assert_eq!(effective_threads(0, Some(4)), 1);
+        assert!(effective_threads(1_000_000, None) >= 1);
+    }
+
+    #[test]
+    fn observer_sees_every_job_exactly_once() {
+        for threads in [Some(1), Some(4)] {
+            let seen = Mutex::new(vec![0u32; 17]);
+            let out = run_jobs_observed(
+                17,
+                threads,
+                |i| i * 3,
+                |obs| {
+                    assert!(obs.worker < 4);
+                    seen.lock()[obs.job] += 1;
+                },
+            );
+            assert_eq!(out, (0..17).map(|i| i * 3).collect::<Vec<_>>());
+            assert!(seen.into_inner().iter().all(|&c| c == 1), "threads = {threads:?}");
+        }
+    }
+
+    #[test]
+    fn observed_results_match_unobserved() {
+        let work = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let plain = run_jobs_on(33, Some(4), work);
+        let observed = run_jobs_observed(33, Some(4), work, |_| {});
+        assert_eq!(plain, observed);
     }
 }

@@ -17,6 +17,9 @@ pub struct Summary {
     pub median: f64,
     /// 95th percentile (linear interpolation).
     pub p95: f64,
+    /// 99th percentile (linear interpolation) — the tail-latency
+    /// reporting surface the telemetry/service arc standardizes on.
+    pub p99: f64,
     /// Maximum.
     pub max: f64,
 }
@@ -66,8 +69,15 @@ impl Summary {
             min: sorted[0],
             median: quantile_sorted(&sorted, 0.5),
             p95: quantile_sorted(&sorted, 0.95),
+            p99: quantile_sorted(&sorted, 0.99),
             max: sorted[n - 1],
         }
+    }
+
+    /// The median under its percentile alias, for symmetric
+    /// p50/p95/p99 call sites.
+    pub fn p50(&self) -> f64 {
+        self.median
     }
 }
 
@@ -173,6 +183,10 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 5.0);
         assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.p50(), s.median);
+        // p99 interpolates within the top interval and never exceeds max.
+        assert!(s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!((s.p99 - 4.96).abs() < 1e-12);
     }
 
     #[test]

@@ -4,6 +4,10 @@
 //! perf [--out PATH]      # measure; write BENCH.json (default ./BENCH.json)
 //! perf --quick [...]     # tiny budget (CI smoke; numbers are noisy)
 //! perf --check PATH      # validate an existing BENCH.json; exit 1 if invalid
+//! perf --compare OLD [--threshold F]
+//!                        # measure, then compare against the baseline OLD;
+//!                        # exit 1 if any case drops below F x baseline
+//!                        # (default 0.5 — perf numbers are noisy)
 //! ```
 //!
 //! The measurement suite and the `BENCH.json` schema live in
@@ -13,7 +17,9 @@
 use std::process::ExitCode;
 
 fn usage() -> String {
-    "usage: perf [--out PATH] [--quick]\n       perf --check PATH".to_string()
+    "usage: perf [--out PATH] [--quick] [--compare OLD.json [--threshold F]]\n       \
+     perf --check PATH"
+        .to_string()
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -46,6 +52,8 @@ fn run() -> Result<ExitCode, String> {
 
     let mut out = "BENCH.json".to_string();
     let mut quick = false;
+    let mut baseline: Option<String> = None;
+    let mut threshold = 0.5f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -60,9 +68,42 @@ fn run() -> Result<ExitCode, String> {
                 quick = true;
                 i += 1;
             }
+            "--compare" => {
+                baseline = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| format!("--compare needs a path\n{}", usage()))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--threshold" => {
+                let raw = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--threshold needs a factor\n{}", usage()))?;
+                threshold = raw
+                    .parse()
+                    .map_err(|e| format!("--threshold {raw:?}: {e}"))?;
+                if !(threshold > 0.0 && threshold <= 1.0) {
+                    return Err(format!(
+                        "--threshold must be in (0, 1], got {threshold}"
+                    ));
+                }
+                i += 2;
+            }
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
+    // Read the baseline before measuring, so a bad path fails fast.
+    let baseline = match &baseline {
+        Some(path) => {
+            let data = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+            let old = bench::perf::BenchReport::from_json(&data)
+                .map_err(|e| format!("baseline {path}: {e}"))?;
+            Some((path.clone(), old))
+        }
+        None => None,
+    };
 
     eprintln!(
         "== perf: measuring engine + campaign throughput ({}) ==",
@@ -73,6 +114,14 @@ fn run() -> Result<ExitCode, String> {
     print!("{}", report.summary());
     std::fs::write(&out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
     eprintln!("wrote {out}");
+    if let Some((path, old)) = baseline {
+        let cmp = bench::perf::compare(&old, &report, threshold);
+        eprintln!("== perf: comparing against baseline {path} ==");
+        print!("{}", cmp.summary());
+        if !cmp.regressions().is_empty() {
+            return Ok(ExitCode::from(1));
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 

@@ -8,11 +8,13 @@
 //! scenario <name | file.json> [--trials N] [--seed S] [--shards N]
 //!          [--save-trace PATH]   # trial 0's full trace as JSON
 //!          [--export PATH]       # write the scenario itself as JSON
+//!          [--telemetry PATH]    # JSONL run journal (see docs/observability.md)
 //! scenario campaign [name | set.json ...]
-//!          [--out PATH]          # combined markdown report
+//!          [--out PATH]          # combined markdown report (+ perf footer)
 //!          [--golden DIR]        # golden dir (default scenarios/golden)
 //!          [--check]             # diff against blessed metrics; exit 1 on drift
 //!          [--bless]             # regenerate the golden files
+//!          [--telemetry PATH]    # JSONL run journal
 //!          [--trials N] [--threads N] [--shards N]
 //! scenario sweep <name | sweep.json>
 //!          [--out PATH]          # sweep markdown report (grid + curve pivots)
@@ -21,8 +23,16 @@
 //!          [--golden DIR]        # per-point golden dir (default scenarios/golden)
 //!          [--check]             # golden-gate the pinned points; exit 1 on drift
 //!          [--bless]             # regenerate the pinned points' golden files
+//!          [--telemetry PATH]    # JSONL run journal
 //!          [--trials N] [--threads N] [--shards N]
+//! scenario journal <PATH>        # validate a telemetry journal; exit 1 if invalid
 //! ```
+//!
+//! Every run prints a live heartbeat to stderr (scenarios done,
+//! trials/s, ETA). Telemetry only observes: stdout tables, written
+//! reports, and golden checks are byte-identical with or without
+//! `--telemetry` (report files gain a perf footer, appended at write
+//! time only).
 //!
 //! `--shards N` splits each trial engine's reception resolution across
 //! N worker threads. It is purely a wall-clock knob — traces, reports,
@@ -45,9 +55,10 @@
 //! ```
 
 use scenario::sweep::{self, SweepReport, SweepSpec};
-use scenario::{registry, Campaign, GoldenMetrics, Scenario, ScenarioRunner};
+use scenario::{registry, Campaign, GoldenMetrics, RunTelemetry, Scenario, ScenarioRunner};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use telemetry::Heartbeat;
 
 /// Default directory for blessed golden-metric files.
 const GOLDEN_DIR: &str = "scenarios/golden";
@@ -55,13 +66,29 @@ const GOLDEN_DIR: &str = "scenarios/golden";
 fn usage() -> String {
     "usage: scenario --list\n       \
      scenario <name | file.json> [--trials N] [--seed S] [--shards N] \
-     [--save-trace PATH] [--export PATH]\n       \
+     [--save-trace PATH] [--export PATH] [--telemetry PATH]\n       \
      scenario campaign [name | set.json ...] [--out PATH] [--golden DIR] \
-     [--check | --bless] [--trials N] [--threads N] [--shards N]\n       \
+     [--check | --bless] [--telemetry PATH] [--trials N] [--threads N] [--shards N]\n       \
      scenario sweep <name | sweep.json> [--out PATH] [--csv PATH] \
-     [--export PATH] [--golden DIR] [--check | --bless] [--trials N] \
-     [--threads N] [--shards N]"
+     [--export PATH] [--golden DIR] [--check | --bless] [--telemetry PATH] \
+     [--trials N] [--threads N] [--shards N]\n       \
+     scenario journal <PATH>"
         .to_string()
+}
+
+/// Writes the JSONL run journal when `--telemetry PATH` was given.
+fn write_journal(
+    path: &Option<String>,
+    telem: &RunTelemetry,
+    mode: &str,
+    label: &str,
+) -> Result<(), String> {
+    if let Some(path) = path {
+        std::fs::write(path, telem.journal(mode, label))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote telemetry journal to {path}");
+    }
+    Ok(())
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
@@ -140,7 +167,7 @@ fn load(selector: &str) -> Result<Scenario, String> {
 fn run_single(args: &[String]) -> Result<ExitCode, String> {
     let positionals = parse_positionals(
         args,
-        &["--trials", "--seed", "--shards", "--save-trace", "--export"],
+        &["--trials", "--seed", "--shards", "--save-trace", "--export", "--telemetry"],
         &[],
     )?;
     let selector = match positionals.as_slice() {
@@ -164,7 +191,8 @@ fn run_single(args: &[String]) -> Result<ExitCode, String> {
     // Validate (ScenarioRunner::new) before exporting, so --export can
     // never leave behind a file the loader itself would reject.
     let mut runner = ScenarioRunner::new(scenario).map_err(|e| e.to_string())?;
-    if let Some(shards) = parse_count(args, "--shards")? {
+    let shards = parse_count(args, "--shards")?;
+    if let Some(shards) = shards {
         runner = runner.shards(shards);
     }
     if let Some(path) = arg_value(args, "--export") {
@@ -189,15 +217,35 @@ fn run_single(args: &[String]) -> Result<ExitCode, String> {
     }
 
     let save_trace = arg_value(args, "--save-trace");
+    let telemetry_out = arg_value(args, "--telemetry");
     let start = std::time::Instant::now();
-    let (report, trace) = match &save_trace {
+    let (report, trace) = if save_trace.is_some() && telemetry_out.is_none() {
         // Capture trial 0's trace from the same execution rather than
         // re-simulating it afterwards.
-        Some(_) => {
-            let (report, trace) = runner.run_with_trial0_trace();
-            (report, Some(trace))
+        let (report, trace) = runner.run_with_trial0_trace();
+        (report, Some(trace))
+    } else {
+        // Observed run: a one-scenario campaign drives the heartbeat
+        // and fills the telemetry. The report is identical to a plain
+        // run — telemetry only observes.
+        let mut campaign =
+            Campaign::new(vec![runner.scenario().clone()]).map_err(|e| e.to_string())?;
+        if let Some(s) = shards {
+            campaign = campaign.shards(s);
         }
-        None => (runner.run(), None),
+        let hb = Heartbeat::new(&runner.scenario().name, 1, runner.scenario().trials as u64);
+        let (creport, telem) = campaign.run_observed(Some(&hb));
+        hb.finish();
+        let report = creport
+            .reports
+            .into_iter()
+            .next()
+            .expect("one-scenario campaign yields one report");
+        write_journal(&telemetry_out, &telem, "single", &report.scenario.name)?;
+        // Trial 0 is a pure function of the seed, so re-simulating it
+        // for the trace yields the exact bytes of the observed trial.
+        let trace = save_trace.as_ref().map(|_| runner.trial_trace_json(0));
+        (report, trace)
     };
     eprintln!("   ({} trial(s), {:.1?})", report.outcomes.len(), start.elapsed());
     for table in report.tables() {
@@ -299,7 +347,7 @@ fn check_goldens(
 fn run_campaign(args: &[String]) -> Result<ExitCode, String> {
     let selectors = parse_positionals(
         args,
-        &["--trials", "--threads", "--shards", "--golden", "--out"],
+        &["--trials", "--threads", "--shards", "--golden", "--out", "--telemetry"],
         &["--check", "--bless"],
     )?;
     let check = args.iter().any(|a| a == "--check");
@@ -348,13 +396,18 @@ fn run_campaign(args: &[String]) -> Result<ExitCode, String> {
         names.len()
     );
     let start = std::time::Instant::now();
-    let report = campaign.run();
+    let hb = Heartbeat::new("campaign", names.len() as u64, total as u64);
+    let (report, telem) = campaign.run_observed(Some(&hb));
+    hb.finish();
     eprintln!("   ({:.1?})", start.elapsed());
     println!("{}", report.overview());
+    write_journal(&arg_value(args, "--telemetry"), &telem, "campaign", &names.join(" "))?;
 
     if let Some(path) = arg_value(args, "--out") {
-        std::fs::write(&path, report.to_markdown())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        // The footer carries wall-clock numbers, so it is appended at
+        // write time only — to_markdown stays byte-deterministic.
+        let doc = format!("{}{}", report.to_markdown(), telem.footer());
+        std::fs::write(&path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote combined report to {path}");
     }
 
@@ -392,6 +445,7 @@ fn run_sweep(args: &[String]) -> Result<ExitCode, String> {
         args,
         &[
             "--trials", "--threads", "--shards", "--golden", "--out", "--csv", "--export",
+            "--telemetry",
         ],
         &["--check", "--bless"],
     )?;
@@ -460,8 +514,11 @@ fn run_sweep(args: &[String]) -> Result<ExitCode, String> {
         eprintln!("   {}", spec.description);
     }
     let start = std::time::Instant::now();
-    let report = campaign.run();
+    let hb = Heartbeat::new(&spec.name, grid.len() as u64, total as u64);
+    let (report, telem) = campaign.run_observed(Some(&hb));
+    hb.finish();
     eprintln!("   ({:.1?})", start.elapsed());
+    write_journal(&arg_value(args, "--telemetry"), &telem, "sweep", &spec.name)?;
 
     let sweep_report = SweepReport::new(&grid, &report);
     println!("{}", sweep_report.long_table());
@@ -469,8 +526,9 @@ fn run_sweep(args: &[String]) -> Result<ExitCode, String> {
         println!("{t}");
     }
     if let Some(path) = arg_value(args, "--out") {
-        std::fs::write(&path, sweep_report.to_markdown())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        // Footer at write time only, as in campaign mode.
+        let doc = format!("{}{}", sweep_report.to_markdown(), telem.footer());
+        std::fs::write(&path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote sweep report to {path}");
     }
     if let Some(path) = arg_value(args, "--csv") {
@@ -487,6 +545,36 @@ fn run_sweep(args: &[String]) -> Result<ExitCode, String> {
         return check_goldens(&report, &golden_dir);
     }
     Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------
+// Journal validation mode
+// ---------------------------------------------------------------------
+
+fn run_journal(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err(format!("journal takes exactly one path\n{}", usage()));
+    };
+    let data =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    match telemetry::validate_journal(&data) {
+        Ok(stats) => {
+            eprintln!(
+                "{path}: valid telemetry journal (schema v{})",
+                telemetry::JOURNAL_SCHEMA_VERSION
+            );
+            println!(
+                "{} line(s): {} scenario(s), {} trial(s); {} with engine metrics, {} with ack latency",
+                stats.lines, stats.scenarios, stats.trials, stats.engine_scenarios,
+                stats.ack_scenarios
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            Ok(ExitCode::from(1))
+        }
+    }
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -521,6 +609,7 @@ fn run() -> Result<ExitCode, String> {
         }
         Some("campaign") => run_campaign(&args[1..]),
         Some("sweep") => run_sweep(&args[1..]),
+        Some("journal") => run_journal(&args[1..]),
         _ => run_single(&args),
     }
 }

@@ -181,6 +181,134 @@ impl BenchReport {
     }
 }
 
+/// One throughput number compared between two `BENCH.json` reports.
+#[derive(Debug, Clone)]
+pub struct CaseDelta {
+    /// Case name (engine/scale case name, or `campaign`).
+    pub case: String,
+    /// Baseline throughput (node-rounds/s for engine cases, trials/s
+    /// for the campaign).
+    pub old: f64,
+    /// Measured throughput in the new report.
+    pub new: f64,
+    /// `new / old` — below 1.0 means the new report is slower.
+    pub ratio: f64,
+    /// Whether the ratio fell below the comparison threshold.
+    pub regressed: bool,
+}
+
+/// The result of comparing a new perf report against a baseline.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Minimum acceptable `new / old` ratio.
+    pub threshold: f64,
+    /// Deltas for every case present in both reports.
+    pub cases: Vec<CaseDelta>,
+    /// Baseline cases absent from the new report (informational).
+    pub missing: Vec<String>,
+    /// New-report cases absent from the baseline (informational).
+    pub added: Vec<String>,
+}
+
+impl CompareReport {
+    /// The cases whose ratio fell below the threshold.
+    pub fn regressions(&self) -> Vec<&CaseDelta> {
+        self.cases.iter().filter(|c| c.regressed).collect()
+    }
+
+    /// A human-readable delta table, one line per compared case.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "perf comparison (regression below {:.0}% of baseline):\n",
+            self.threshold * 100.0
+        );
+        for c in &self.cases {
+            out.push_str(&format!(
+                "  {:<28} {:>12.0} -> {:>12.0}  ({:>+6.1}%){}\n",
+                c.case,
+                c.old,
+                c.new,
+                (c.ratio - 1.0) * 100.0,
+                if c.regressed { "  REGRESSED" } else { "" }
+            ));
+        }
+        for m in &self.missing {
+            out.push_str(&format!("  {m:<28} baseline only (not compared)\n"));
+        }
+        for a in &self.added {
+            out.push_str(&format!("  {a:<28} new case (no baseline)\n"));
+        }
+        let n = self.regressions().len();
+        out.push_str(&if n == 0 {
+            format!("no regressions across {} compared case(s)\n", self.cases.len())
+        } else {
+            format!("{n} regression(s) across {} compared case(s)\n", self.cases.len())
+        });
+        out
+    }
+}
+
+/// Compares a new report against a baseline, case by case.
+///
+/// Engine and scale cases are matched by name and compared on
+/// `node_rounds_per_sec`; the campaign measurement is compared on
+/// `trials_per_sec` (only when both reports pinned the same scenario
+/// subset, so the workload is actually comparable). A case regresses
+/// when `new / old < threshold` — perf numbers are noisy, so the
+/// threshold should leave generous headroom (CI uses 0.5 as a
+/// non-blocking signal; see docs/perf.md).
+pub fn compare(old: &BenchReport, new: &BenchReport, threshold: f64) -> CompareReport {
+    let mut cases = Vec::new();
+    let mut missing = Vec::new();
+    let mut added = Vec::new();
+    let old_cases: Vec<(&str, f64)> = old
+        .engine
+        .iter()
+        .chain(&old.scale)
+        .map(|c| (c.case.as_str(), c.node_rounds_per_sec))
+        .collect();
+    let new_cases: Vec<(&str, f64)> = new
+        .engine
+        .iter()
+        .chain(&new.scale)
+        .map(|c| (c.case.as_str(), c.node_rounds_per_sec))
+        .collect();
+    for &(name, old_v) in &old_cases {
+        match new_cases.iter().find(|(n, _)| *n == name) {
+            Some(&(_, new_v)) => {
+                let ratio = new_v / old_v;
+                cases.push(CaseDelta {
+                    case: name.to_string(),
+                    old: old_v,
+                    new: new_v,
+                    ratio,
+                    regressed: ratio < threshold,
+                });
+            }
+            None => missing.push(name.to_string()),
+        }
+    }
+    for &(name, _) in &new_cases {
+        if !old_cases.iter().any(|(n, _)| *n == name) {
+            added.push(name.to_string());
+        }
+    }
+    if old.campaign.scenarios == new.campaign.scenarios {
+        let (old_v, new_v) = (old.campaign.trials_per_sec, new.campaign.trials_per_sec);
+        let ratio = new_v / old_v;
+        cases.push(CaseDelta {
+            case: "campaign".to_string(),
+            old: old_v,
+            new: new_v,
+            ratio,
+            regressed: ratio < threshold,
+        });
+    } else {
+        missing.push("campaign (scenario subsets differ)".to_string());
+    }
+    CompareReport { threshold, cases, missing, added }
+}
+
 /// The engine micro-bench process: transmits its round number with
 /// probability 1/4 (`Copy` message, contention-heavy). Shared by the
 /// Criterion engine bench so both artifacts measure the same workload
@@ -401,6 +529,52 @@ mod tests {
         assert!(report.validate().is_err());
 
         assert!(BenchReport::from_json("{").is_err());
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_tracks_case_churn() {
+        let base = run(true);
+
+        // Identical reports: every ratio is 1.0, nothing regresses.
+        let same = compare(&base, &base, 0.5);
+        assert_eq!(same.cases.len(), base.engine.len() + base.scale.len() + 1);
+        assert!(same.regressions().is_empty());
+        assert!(same.missing.is_empty() && same.added.is_empty());
+        assert!(same.summary().contains("no regressions"));
+
+        // Slow one engine case and the campaign below the threshold.
+        let mut slow = base.clone();
+        slow.engine[0].node_rounds_per_sec = base.engine[0].node_rounds_per_sec * 0.25;
+        slow.campaign.trials_per_sec = base.campaign.trials_per_sec * 0.25;
+        let cmp = compare(&base, &slow, 0.5);
+        let regressed: Vec<&str> =
+            cmp.regressions().iter().map(|c| c.case.as_str()).collect();
+        assert_eq!(regressed, vec![base.engine[0].case.as_str(), "campaign"]);
+        assert!(cmp.summary().contains("REGRESSED"));
+
+        // A faster run never regresses.
+        let mut fast = base.clone();
+        for c in fast.engine.iter_mut().chain(&mut fast.scale) {
+            c.node_rounds_per_sec *= 2.0;
+        }
+        fast.campaign.trials_per_sec *= 2.0;
+        assert!(compare(&base, &fast, 0.5).regressions().is_empty());
+
+        // Case churn is informational, not a regression.
+        let mut churned = base.clone();
+        let dropped = churned.engine.remove(1);
+        churned.scale.push(EngineCase {
+            case: "scale-new/bernoulli".into(),
+            ..churned.scale[0].clone()
+        });
+        churned.campaign.scenarios.push("extra".into());
+        let cmp = compare(&base, &churned, 0.5);
+        assert!(cmp.regressions().is_empty());
+        assert!(cmp.missing.contains(&dropped.case));
+        assert!(cmp.missing.iter().any(|m| m.starts_with("campaign")));
+        assert_eq!(cmp.added, vec!["scale-new/bernoulli".to_string()]);
+        assert!(cmp.summary().contains("baseline only"));
+        assert!(cmp.summary().contains("new case"));
     }
 
     #[test]

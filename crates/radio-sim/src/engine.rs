@@ -51,6 +51,12 @@ pub struct Configuration {
     /// knob trades thread overhead for intra-trial parallelism on large
     /// graphs.
     pub shards: usize,
+    /// Whether the engine accumulates [`telemetry::EngineMetrics`]
+    /// (per-phase round timing, per-shard busy time, channel counters).
+    /// Telemetry observes only: enabling it leaves the execution —
+    /// traces, outputs, RNG streams — byte-identical, and recording
+    /// stays allocation-free in the steady state.
+    pub telemetry: bool,
 }
 
 impl Configuration {
@@ -68,6 +74,7 @@ impl Configuration {
             recording: RecordingPolicy::outputs_only(),
             faults: FaultPlan::none(),
             shards: 1,
+            telemetry: false,
         }
     }
 
@@ -78,6 +85,13 @@ impl Configuration {
     /// byte-identical execution.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Enables (or disables) engine telemetry. A disabled handle is a
+    /// no-op: the hot path pays one branch per phase and nothing else.
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
         self
     }
 
@@ -178,6 +192,11 @@ pub struct Engine<P: Process> {
     tx_neighbors: Vec<u32>,
     last_sender: Vec<NodeId>,
     trace: Trace<P::Input, P::Output, P::Msg>,
+    /// Metrics sink, present iff the configuration enabled telemetry.
+    /// Boxed so the disabled engine doesn't carry the 16 KiB histogram;
+    /// all slots are fixed at construction, so recording into it never
+    /// allocates (preserving the zero-alloc steady-state contract).
+    telemetry: Option<Box<telemetry::EngineMetrics>>,
 }
 
 impl<P: Process> Engine<P> {
@@ -202,6 +221,9 @@ impl<P: Process> Engine<P> {
         let delta = config.graph.delta();
         let delta_prime = config.graph.delta_prime();
         let trace = Trace::new(n, config.proc_ids.clone());
+        let telemetry = config
+            .telemetry
+            .then(|| Box::new(telemetry::EngineMetrics::new(config.shards.max(1))));
         Engine {
             graph: config.graph,
             scheduler: config.scheduler,
@@ -228,6 +250,7 @@ impl<P: Process> Engine<P> {
             tx_neighbors: vec![0; n],
             last_sender: vec![NodeId(0); n],
             trace,
+            telemetry,
         }
     }
 
@@ -251,6 +274,17 @@ impl<P: Process> Engine<P> {
         &self.procs
     }
 
+    /// The telemetry accumulated so far (None when disabled).
+    pub fn telemetry(&self) -> Option<&telemetry::EngineMetrics> {
+        self.telemetry.as_deref()
+    }
+
+    /// Consumes the engine's telemetry sink (None when disabled),
+    /// leaving telemetry disabled for any further rounds.
+    pub fn take_telemetry(&mut self) -> Option<telemetry::EngineMetrics> {
+        self.telemetry.take().map(|b| *b)
+    }
+
     /// The dual graph being simulated.
     pub fn graph(&self) -> &DualGraph {
         &self.graph
@@ -270,6 +304,13 @@ impl<P: Process> Engine<P> {
         let n = self.graph.len();
         let round = self.round + 1;
         let have_faults = !self.faults.is_empty();
+
+        // Telemetry is taken out of `self` for the round so phase laps
+        // and the sharded resolver can borrow it while the engine's own
+        // fields stay independently borrowable; it is put back at the
+        // end. A disabled handle costs one `None` branch per phase.
+        let mut telem = self.telemetry.take();
+        let mut span = telemetry::Stopwatch::armed(telem.is_some());
 
         // Step 0: fault masks for this round; record Crash/Recover and
         // JamStart/JamEnd transitions and fire recovery hooks.
@@ -316,6 +357,7 @@ impl<P: Process> Engine<P> {
             self.down_prev.copy_from_slice(&self.down);
             self.jam_prev.copy_from_slice(&self.jammed);
         }
+        let faults_ns = span.lap();
 
         // Step 1: environment inputs (receives last round's outputs).
         // The two output buffers swap roles each round instead of being
@@ -350,6 +392,7 @@ impl<P: Process> Engine<P> {
             };
             self.procs[v.0].on_input(input, ctx);
         }
+        let inputs_ns = span.lap();
 
         // Step 2: transmit decisions, into the engine-owned scratch
         // buffers (no per-round allocation). Only last round's
@@ -389,6 +432,7 @@ impl<P: Process> Engine<P> {
                 Action::Receive => {}
             }
         }
+        let transmit_ns = span.lap();
 
         // Step 3: the scheduler fixes the round topology; resolve
         // receptions under the collision rule.
@@ -398,14 +442,21 @@ impl<P: Process> Engine<P> {
         };
 
         if self.shards > 1 {
-            self.resolve_receptions_sharded(&selection);
+            let shard_busy = telem.as_deref_mut().map(|t| t.shard_busy_ns.as_mut_slice());
+            self.resolve_receptions_sharded(&selection, shard_busy);
         } else {
             self.resolve_receptions_serial(&selection);
         }
+        let resolve_ns = span.lap();
 
-        let mut stats = self.recording.channel_stats.then(|| crate::trace::RoundStats {
-            transmitters: self.tx_list.len(),
-            ..Default::default()
+        // Channel stats feed the trace (under the recording policy)
+        // and/or the telemetry counters; both read the same RoundStats,
+        // so telemetry cannot diverge from what the trace would record.
+        let mut stats = (self.recording.channel_stats || telem.is_some()).then(|| {
+            crate::trace::RoundStats {
+                transmitters: self.tx_list.len(),
+                ..Default::default()
+            }
         });
 
         // The drop-burst stream for this round, derived lazily: fault
@@ -497,8 +548,21 @@ impl<P: Process> Engine<P> {
             self.procs[u].on_receive(received, ctx);
         }
 
+        let deliver_ns = span.lap();
+
         if let Some(s) = stats {
-            self.trace.round_stats.push(s);
+            if let Some(t) = telem.as_deref_mut() {
+                t.transmissions += s.transmitters as u64;
+                t.deliveries += s.deliveries as u64;
+                t.collisions += s.collisions as u64;
+                t.silent += s.silent as u64;
+                t.jammed += s.jammed as u64;
+                t.dropped += s.dropped as u64;
+                t.down_node_rounds += s.down as u64;
+            }
+            if self.recording.channel_stats {
+                self.trace.round_stats.push(s);
+            }
         }
 
         // Step 4: outputs, consumed by the environment at the start of the
@@ -519,6 +583,17 @@ impl<P: Process> Engine<P> {
                 self.pending_outputs.push((NodeId(v), out));
             }
         }
+
+        if let Some(t) = telem.as_deref_mut() {
+            let outputs_ns = span.lap();
+            if self.shards <= 1 {
+                // The serial resolver is "shard 0"; sharded resolution
+                // timed its chunks inside the workers.
+                t.shard_busy_ns[0] += resolve_ns;
+            }
+            t.record_round([faults_ns, inputs_ns, transmit_ns, resolve_ns, deliver_ns, outputs_ns]);
+        }
+        self.telemetry = telem;
 
         self.round = round;
         self.trace.rounds = round;
@@ -578,7 +653,16 @@ impl<P: Process> Engine<P> {
     /// record that unique sender, and `last_sender` is never read
     /// otherwise. Per-round `Subset` selections are applied serially on
     /// top (they are sparse; the O(n + m) gather is the scalable part).
-    fn resolve_receptions_sharded(&mut self, selection: &EdgeSelection) {
+    ///
+    /// `shard_busy` (when telemetry is on) receives each worker chunk's
+    /// busy nanoseconds, one pre-allocated slot per shard — timing is
+    /// taken inside the worker, so the slots measure compute skew, not
+    /// spawn/join overhead.
+    fn resolve_receptions_sharded(
+        &mut self,
+        selection: &EdgeSelection,
+        shard_busy: Option<&mut [u64]>,
+    ) {
         let n = self.graph.len();
         let shards = self.shards.min(n.max(1));
         let chunk = n.div_ceil(shards);
@@ -588,6 +672,7 @@ impl<P: Process> Engine<P> {
         crossbeam::scope(|s| {
             let mut tx_rest: &mut [u32] = &mut self.tx_neighbors;
             let mut ls_rest: &mut [NodeId] = &mut self.last_sender;
+            let mut busy_rest: &mut [u64] = shard_busy.unwrap_or(&mut []);
             let mut base = 0usize;
             while !tx_rest.is_empty() {
                 let take = chunk.min(tx_rest.len());
@@ -595,9 +680,17 @@ impl<P: Process> Engine<P> {
                 let (ls_chunk, ls_tail) = ls_rest.split_at_mut(take);
                 tx_rest = tx_tail;
                 ls_rest = ls_tail;
+                let busy_slot = if busy_rest.is_empty() {
+                    None
+                } else {
+                    let (head, tail) = std::mem::take(&mut busy_rest).split_at_mut(1);
+                    busy_rest = tail;
+                    Some(&mut head[0])
+                };
                 let lo = base;
                 base += take;
                 s.spawn(move |_| {
+                    let span = telemetry::Stopwatch::armed(busy_slot.is_some());
                     for (i, (count, sender)) in
                         tx_chunk.iter_mut().zip(ls_chunk.iter_mut()).enumerate()
                     {
@@ -620,6 +713,9 @@ impl<P: Process> Engine<P> {
                         }
                         *count = c;
                         *sender = from;
+                    }
+                    if let Some(slot) = busy_slot {
+                        *slot += span.peek();
                     }
                 });
             }
@@ -1187,6 +1283,99 @@ mod tests {
                 assert_eq!(serial.round_stats, sharded.round_stats, "shards = {shards}");
             }
         }
+    }
+
+    // -- engine telemetry ---------------------------------------------------
+
+    /// One contention-heavy faulted trace, with or without telemetry,
+    /// at the given shard count; returns the trace and the metrics.
+    fn telemetry_trace(
+        enabled: bool,
+        shards: usize,
+    ) -> (Trace<(), u32, u32>, Option<telemetry::EngineMetrics>) {
+        let topo = crate::topology::random_geometric(crate::topology::RggParams {
+            n: 40,
+            side: 2.5,
+            r: 2.0,
+            grey_reliable_p: 0.1,
+            grey_unreliable_p: 0.8,
+            seed: 21,
+        });
+        let faults = FaultPlan::none()
+            .with_crash(NodeId(3), 2, Some(6))
+            .with_jam(vec![NodeId(0), NodeId(7)], 3, 5)
+            .with_drop_burst(1, 8, 0.4);
+        let procs = (0..40)
+            .map(|v| Beacon::new(v as u32, vec![1 + v as u64 % 4, 5, 6 + v as u64 % 3]))
+            .collect();
+        let config = Configuration::new(
+            topo.graph,
+            Box::new(crate::scheduler::BernoulliEdges::new(0.5, 7)) as Box<dyn LinkScheduler>,
+        )
+        .with_recording(crate::trace::RecordingPolicy::full())
+        .with_faults(faults)
+        .with_shards(shards)
+        .with_telemetry(enabled);
+        let mut engine = Engine::new(config, procs, Box::new(NullEnvironment), 17);
+        engine.run(10);
+        let telem = engine.take_telemetry();
+        (engine.into_trace(), telem)
+    }
+
+    #[test]
+    fn telemetry_leaves_traces_byte_identical() {
+        let (plain, none) = telemetry_trace(false, 1);
+        assert!(none.is_none());
+        for shards in [1, 4] {
+            let (instrumented, telem) = telemetry_trace(true, shards);
+            assert_eq!(plain.events, instrumented.events, "shards = {shards}");
+            assert_eq!(plain.round_stats, instrumented.round_stats, "shards = {shards}");
+            assert!(telem.is_some());
+        }
+    }
+
+    #[test]
+    fn telemetry_counters_match_trace_stats() {
+        for shards in [1, 3] {
+            let (trace, telem) = telemetry_trace(true, shards);
+            let telem = telem.unwrap();
+            let totals = trace.total_stats();
+            assert_eq!(telem.rounds, trace.rounds);
+            assert_eq!(telem.transmissions, totals.transmitters as u64);
+            assert_eq!(telem.deliveries, totals.deliveries as u64);
+            assert_eq!(telem.collisions, totals.collisions as u64);
+            assert_eq!(telem.silent, totals.silent as u64);
+            assert_eq!(telem.jammed, totals.jammed as u64);
+            assert_eq!(telem.dropped, totals.dropped as u64);
+            assert_eq!(telem.down_node_rounds, totals.down as u64);
+            // Counters are deterministic across shard counts; timings
+            // are wall-clock and need only be present.
+            assert_eq!(telem.round_ns.count(), trace.rounds);
+            assert!(telem.busy_ns() > 0);
+            assert_eq!(telem.shard_busy_ns.len(), shards);
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_without_stats_recording() {
+        // Telemetry counters must not depend on the trace's recording
+        // policy carrying channel stats.
+        let g = DualGraph::reliable_only(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let procs = vec![
+            Beacon::new(1, vec![1]),
+            Beacon::new(2, vec![]),
+            Beacon::new(3, vec![1]),
+            Beacon::new(4, vec![]),
+        ];
+        let config = Configuration::new(g, Box::new(NoExtraEdges)).with_telemetry(true);
+        let mut engine = Engine::new(config, procs, Box::new(NullEnvironment), 1);
+        engine.step();
+        assert!(engine.trace().round_stats.is_empty(), "stats recording stays off");
+        let telem = engine.telemetry().unwrap();
+        assert_eq!(telem.transmissions, 2);
+        assert_eq!(telem.deliveries, 1);
+        assert_eq!(telem.collisions, 1);
+        assert_eq!(telem.shard_busy_ns.len(), 1);
     }
 
     #[test]

@@ -127,3 +127,48 @@ fn stats_only_steady_state_allocates_nothing() {
     let totals = engine.trace().total_stats();
     assert!(totals.transmitters > 0 && totals.deliveries > 0);
 }
+
+#[test]
+fn instrumented_steady_state_allocates_nothing() {
+    // Same contract with telemetry enabled: the metrics core is all
+    // fixed slots (counters, the 2048-bucket histogram, per-shard busy
+    // slots sized at construction), so phase timing and counter
+    // recording must add zero allocations per round.
+    const MEASURED_ROUNDS: u64 = 1_000;
+    let topo = random_geometric(RggParams {
+        n: 64,
+        side: 3.0,
+        r: 2.0,
+        grey_reliable_p: 0.1,
+        grey_unreliable_p: 0.8,
+        seed: 5,
+    });
+    let procs: Vec<Chatter> = (0..topo.graph.len()).map(|_| Chatter).collect();
+    let config = Configuration::new(topo.graph.clone(), Box::new(AllExtraEdges))
+        .with_recording(RecordingPolicy::stats_only())
+        .with_telemetry(true);
+    let mut engine = Engine::new(config, procs, Box::new(NullEnvironment), 42);
+
+    engine.run(16);
+    engine.reserve_rounds(MEASURED_ROUNDS);
+
+    ARMED.with(|a| a.set(true));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    engine.run(MEASURED_ROUNDS);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    ARMED.with(|a| a.set(false));
+    assert_eq!(
+        after - before,
+        0,
+        "instrumented Engine::step allocated {} time(s) over {MEASURED_ROUNDS} rounds",
+        after - before
+    );
+    let telem = engine.telemetry().expect("telemetry enabled");
+    assert_eq!(telem.rounds, 16 + MEASURED_ROUNDS);
+    assert_eq!(telem.round_ns.count(), telem.rounds);
+    assert!(telem.busy_ns() > 0 && telem.deliveries > 0);
+    // Telemetry observed the same execution the trace recorded.
+    let totals = engine.trace().total_stats();
+    assert_eq!(telem.deliveries, totals.deliveries as u64);
+    assert_eq!(telem.transmissions, totals.transmitters as u64);
+}

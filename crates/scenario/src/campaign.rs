@@ -22,12 +22,16 @@
 //! re-blessing, while real regressions in `LBAlg` or the seed-agreement
 //! preamble trip the gate.
 
+use crate::obs::{RunTelemetry, ScenarioTelemetry};
 use crate::runner::{ScenarioReport, ScenarioRunner, TrialOutcome};
 use crate::spec::{Scenario, ScenarioError};
 use analysis::report::{markdown_report, pm, within_tolerance};
-use analysis::runner::run_jobs_on;
+use analysis::runner::{effective_threads, run_jobs_observed, run_jobs_on};
 use analysis::table::{fnum, Table};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use std::time::Instant;
+use telemetry::{Heartbeat, Histogram};
 
 fn invalid(msg: impl Into<String>) -> ScenarioError {
     ScenarioError::Invalid(msg.into())
@@ -151,6 +155,103 @@ impl Campaign {
             .collect();
         CampaignReport { reports }
     }
+
+    /// Like [`Campaign::run`], but **observed**: every trial runs with
+    /// engine telemetry attached, the worker pool reports per-trial
+    /// wall-clock and per-worker busy time, and the optional
+    /// [`Heartbeat`] ticks as trials and scenarios drain. The returned
+    /// report is identical to [`Campaign::run`] — telemetry observes
+    /// the execution, it never feeds back — so golden checks and
+    /// markdown bytes are unchanged; only wall-clock (`_ns`) fields
+    /// vary run to run.
+    pub fn run_observed(&self, heartbeat: Option<&Heartbeat>) -> (CampaignReport, RunTelemetry) {
+        let jobs: Vec<(usize, usize)> = self
+            .runners
+            .iter()
+            .enumerate()
+            .flat_map(|(si, r)| (0..r.scenario().trials).map(move |t| (si, t)))
+            .collect();
+        let threads = effective_threads(jobs.len(), self.threads);
+        struct Acc {
+            worker_busy_ns: Vec<u64>,
+            elapsed_ns: Vec<u64>,
+            remaining: Vec<usize>,
+        }
+        let acc = Mutex::new(Acc {
+            worker_busy_ns: vec![0; threads],
+            elapsed_ns: vec![0; jobs.len()],
+            remaining: self.runners.iter().map(|r| r.scenario().trials).collect(),
+        });
+        let start = Instant::now();
+        let results = run_jobs_observed(
+            jobs.len(),
+            self.threads,
+            |j| {
+                let (si, trial) = jobs[j];
+                self.runners[si].run_trial_instrumented(trial)
+            },
+            |obs| {
+                let (si, _) = jobs[obs.job];
+                let drained = {
+                    let mut a = acc.lock().expect("telemetry accumulator");
+                    a.worker_busy_ns[obs.worker] += obs.elapsed_ns;
+                    a.elapsed_ns[obs.job] = obs.elapsed_ns;
+                    a.remaining[si] -= 1;
+                    a.remaining[si] == 0
+                };
+                if let Some(hb) = heartbeat {
+                    hb.trial_done();
+                    if drained {
+                        hb.scenario_done();
+                    }
+                }
+            },
+        );
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let acc = acc.into_inner().expect("telemetry accumulator");
+
+        // Reassemble per scenario. Jobs are contiguous per scenario and
+        // results/elapsed are job-index-ordered, so a single zip walks
+        // every scenario's trials in trial order.
+        let mut scenarios: Vec<ScenarioTelemetry> = self
+            .runners
+            .iter()
+            .map(|r| ScenarioTelemetry::new(&r.scenario().name))
+            .collect();
+        let mut per_outcomes: Vec<Vec<TrialOutcome>> = self
+            .runners
+            .iter()
+            .map(|r| Vec::with_capacity(r.scenario().trials))
+            .collect();
+        for ((&(si, _), (outcome, engine)), &elapsed) in
+            jobs.iter().zip(results).zip(&acc.elapsed_ns)
+        {
+            scenarios[si].record_trial(&outcome, elapsed, engine);
+            per_outcomes[si].push(outcome);
+        }
+        let reports = self
+            .runners
+            .iter()
+            .zip(per_outcomes)
+            .map(|(r, outcomes)| ScenarioReport {
+                scenario: r.scenario().clone(),
+                outcomes,
+            })
+            .collect();
+        let mut trial_ns = Histogram::new();
+        for s in &scenarios {
+            trial_ns.merge(&s.trial_ns);
+        }
+        let telemetry = RunTelemetry {
+            threads,
+            shards: self.runners.iter().map(|r| r.shard_count()).max().unwrap_or(1),
+            wall_ns,
+            worker_busy_ns: acc.worker_busy_ns,
+            trial_ns,
+            scenarios,
+        };
+        (CampaignReport { reports }, telemetry)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -170,12 +271,14 @@ impl CampaignReport {
         let mut t = Table::new(
             "campaign",
             "campaign overview",
-            "per-scenario summary metrics (means over trials)",
+            "per-scenario summary metrics (means and latency percentiles over trials)",
             vec![
                 "scenario", "workload", "adversary", "trials", "spec ok", "acks",
-                "deliveries", "first ack", "first delivery",
+                "deliveries", "first ack", "ack p50", "ack p95", "ack p99",
+                "first delivery", "del p50", "del p95", "del p99",
             ],
         );
+        let p = |v: Option<u64>| v.map_or("—".into(), |v| v.to_string());
         for r in &self.reports {
             let m = MeasuredMetrics::of(r);
             t.push_row(vec![
@@ -187,7 +290,13 @@ impl CampaignReport {
                 fnum(m.acks),
                 fnum(m.deliveries),
                 m.ack_latency.map_or("—".into(), fnum),
+                p(m.ack_p50),
+                p(m.ack_p95),
+                p(m.ack_p99),
                 m.delivery_latency.map_or("—".into(), fnum),
+                p(m.delivery_p50),
+                p(m.delivery_p95),
+                p(m.delivery_p99),
             ]);
         }
         t
@@ -256,6 +365,16 @@ pub(crate) struct MeasuredMetrics {
     /// How many trials observed the watched delivery — the sample the
     /// `delivery_latency` mean averages over.
     pub(crate) delivery_trials: usize,
+    /// First-ack round percentiles over observing trials, from the
+    /// telemetry histogram (exact below 256 rounds, ≤ 1/32 relative
+    /// error above; deterministic).
+    pub(crate) ack_p50: Option<u64>,
+    pub(crate) ack_p95: Option<u64>,
+    pub(crate) ack_p99: Option<u64>,
+    /// Watched-delivery round percentiles over observing trials.
+    pub(crate) delivery_p50: Option<u64>,
+    pub(crate) delivery_p95: Option<u64>,
+    pub(crate) delivery_p99: Option<u64>,
     pub(crate) acks: f64,
     pub(crate) deliveries: f64,
     pub(crate) spec_ok_rate: f64,
@@ -276,6 +395,18 @@ impl MeasuredMetrics {
             .iter()
             .filter_map(|o| o.first_delivery.map(|r| r as f64))
             .collect();
+        // Percentiles come from the same fixed-slot histogram the run
+        // journal serializes, so report columns and journal agree.
+        let mut ack_hist = Histogram::new();
+        let mut delivery_hist = Histogram::new();
+        for o in outcomes {
+            if let Some(r) = o.first_ack {
+                ack_hist.record(r);
+            }
+            if let Some(r) = o.first_delivery {
+                delivery_hist.record(r);
+            }
+        }
         let spec_ok_trials = outcomes.iter().filter(|o| o.spec_ok).count();
         MeasuredMetrics {
             ack_latency: (!lat.is_empty())
@@ -284,6 +415,12 @@ impl MeasuredMetrics {
             delivery_latency: (!dlat.is_empty())
                 .then(|| dlat.iter().sum::<f64>() / dlat.len() as f64),
             delivery_trials: dlat.len(),
+            ack_p50: ack_hist.p50(),
+            ack_p95: ack_hist.p95(),
+            ack_p99: ack_hist.p99(),
+            delivery_p50: delivery_hist.p50(),
+            delivery_p95: delivery_hist.p95(),
+            delivery_p99: delivery_hist.p99(),
             acks: mean(&|o| o.acks as f64),
             deliveries: mean(&|o| o.recvs as f64),
             spec_ok_rate: spec_ok_trials as f64 / outcomes.len().max(1) as f64,
@@ -639,6 +776,77 @@ mod tests {
             assert_eq!(report.golden(), golden, "{shards} shards");
             let check = report.check(&golden);
             assert!(check.passed(), "{shards} shards:\n{}", check.table());
+        }
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_fills_telemetry() {
+        // The observed pool must not perturb results: outcomes and the
+        // whole markdown report are byte-identical to a plain run, at
+        // any thread count. Telemetry rides along: trial/ack histograms
+        // filled, engine metrics merged per scenario, valid journal.
+        let plain = Campaign::new(vec![tiny("a", 5), tiny("b", 9)]).unwrap().run();
+        for threads in [1, 4] {
+            let campaign = Campaign::new(vec![tiny("a", 5), tiny("b", 9)])
+                .unwrap()
+                .threads(threads);
+            let (report, telem) = campaign.run_observed(None);
+            assert_eq!(report.to_markdown(), plain.to_markdown(), "{threads} threads");
+            assert!(report.check(&plain.golden()).passed(), "{threads} threads");
+
+            assert_eq!(telem.threads, threads.min(4));
+            assert_eq!(telem.total_trials(), 4);
+            assert_eq!(telem.trial_ns.count(), 4);
+            assert_eq!(telem.scenarios.len(), 2);
+            for s in &telem.scenarios {
+                assert_eq!(s.trials, 2);
+                assert_eq!(s.trial_ns.count(), 2);
+                let engine = s.engine.as_ref().expect("lb workload exposes the engine");
+                assert!(engine.rounds > 0 && engine.busy_ns() > 0);
+                assert_eq!(s.ack_latency_rounds.count(), 2, "both trials ack");
+            }
+            assert!(telem.worker_busy_ns.iter().sum::<u64>() > 0);
+            let journal = telem.journal("campaign", "test");
+            let stats = telemetry::validate_journal(&journal)
+                .unwrap_or_else(|e| panic!("{threads} threads: {e}\n{journal}"));
+            assert_eq!(stats.scenarios, 2);
+            assert_eq!(stats.engine_scenarios, 2);
+        }
+    }
+
+    #[test]
+    fn observed_ack_histograms_are_identical_across_threads_and_shards() {
+        // The deterministic half of the telemetry (latency histograms
+        // in rounds, engine counters) is a pure function of the
+        // scenario — byte-identical across worker threads and engine
+        // shards; only the `_ns` wall-clock fields may differ.
+        let make = |threads: usize, shards: usize| {
+            Campaign::new(vec![tiny("a", 5), tiny("b", 9)])
+                .unwrap()
+                .threads(threads)
+                .shards(shards)
+                .run_observed(None)
+                .1
+        };
+        let base = make(1, 1);
+        for (threads, shards) in [(4, 1), (1, 4), (2, 2)] {
+            let telem = make(threads, shards);
+            for (a, b) in base.scenarios.iter().zip(&telem.scenarios) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(
+                    a.ack_latency_rounds, b.ack_latency_rounds,
+                    "{threads}t/{shards}s: {}",
+                    a.name
+                );
+                assert_eq!(a.delivery_latency_rounds, b.delivery_latency_rounds);
+                let (ea, eb) = (a.engine.as_ref().unwrap(), b.engine.as_ref().unwrap());
+                assert_eq!(ea.rounds, eb.rounds);
+                assert_eq!(ea.transmissions, eb.transmissions);
+                assert_eq!(ea.deliveries, eb.deliveries);
+                assert_eq!(ea.collisions, eb.collisions);
+                assert_eq!(ea.jammed, eb.jammed);
+                assert_eq!(ea.dropped, eb.dropped);
+            }
         }
     }
 

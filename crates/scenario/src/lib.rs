@@ -21,6 +21,12 @@
 //!   well as trials), its combined markdown report, and the
 //!   golden-metric regression gate
 //!   ([`GoldenMetrics`](campaign::GoldenMetrics), `scenarios/golden/`).
+//! * [`obs`] — run-level observability: [`Campaign::run_observed`]
+//!   (campaign) fills a [`RunTelemetry`](obs::RunTelemetry) — per-trial
+//!   wall-clock and latency histograms, worker-pool utilization, merged
+//!   engine phase timings — serialized as a JSONL run journal
+//!   (`telemetry::validate_journal` checks it). Telemetry observes
+//!   only: outcomes, reports, and golden metrics stay byte-identical.
 //! * [`sweep`] — parameter-sweep families: a [`SweepSpec`](sweep::SweepSpec)
 //!   expands one base scenario over up to three named override axes
 //!   into a grid of derived scenarios (run as one campaign), and a
@@ -59,12 +65,14 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod obs;
 pub mod registry;
 pub mod runner;
 pub mod spec;
 pub mod sweep;
 
 pub use campaign::{Campaign, CampaignReport, CheckReport, GoldenMetric, GoldenMetrics};
+pub use obs::{RunTelemetry, ScenarioTelemetry};
 pub use runner::{ScenarioReport, ScenarioRunner, TrialOutcome};
 pub use spec::{
     AdversarySpec, FaultPlanSpec, RegionSpec, Scenario, ScenarioBuilder, ScenarioError, StopSpec,

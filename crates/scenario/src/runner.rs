@@ -40,6 +40,30 @@ const BASELINE_PHASE_ROUNDS: u64 = 128;
 /// Natural horizon for baseline workloads under `StopSpec::Complete`.
 const BASELINE_COMPLETE_ROUNDS: u64 = 1024;
 
+/// What a trial execution should additionally capture, beyond the
+/// [`TrialOutcome`] every run measures. Both probes observe only —
+/// outcomes and trace bytes are identical whichever combination is on.
+#[derive(Debug, Clone, Copy, Default)]
+struct Probe {
+    /// Record the full per-event trace and return it as JSON.
+    trace: bool,
+    /// Attach an engine telemetry sink and return its metrics.
+    telemetry: bool,
+}
+
+impl Probe {
+    const NONE: Probe = Probe { trace: false, telemetry: false };
+    const TRACE: Probe = Probe { trace: true, telemetry: false };
+    const TELEMETRY: Probe = Probe { trace: false, telemetry: true };
+}
+
+/// Everything one probed trial execution produced.
+type TrialCapture = (
+    TrialOutcome,
+    Option<String>,
+    Option<telemetry::EngineMetrics>,
+);
+
 /// What one trial measured.
 #[derive(Debug, Clone)]
 pub struct TrialOutcome {
@@ -134,8 +158,8 @@ impl ScenarioReport {
         let mut stats = Table::new(
             format!("{}-stats", s.name),
             "per-trial statistics",
-            "mean/min/median/p95/max over trials",
-            vec!["metric", "mean", "min", "median", "p95", "max"],
+            "mean/min/median/p95/p99/max over trials",
+            vec!["metric", "mean", "min", "median", "p95", "p99", "max"],
         );
         // A metric with no observations (e.g. zero acks under a
         // total jamming plan) renders as an em-dash row instead of
@@ -149,11 +173,12 @@ impl ScenarioReport {
                     fnum(sum.min),
                     fnum(sum.median),
                     fnum(sum.p95),
+                    fnum(sum.p99),
                     fnum(sum.max),
                 ],
                 None => {
                     let mut row = vec![name.to_string()];
-                    row.resize(6, "—".into());
+                    row.resize(7, "—".into());
                     row
                 }
             };
@@ -243,6 +268,11 @@ impl ScenarioRunner {
         self.shards = shards.max(1);
     }
 
+    /// Reception-resolution shards each trial engine uses.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
     /// The scenario being executed.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
@@ -257,7 +287,7 @@ impl ScenarioRunner {
     /// content are independent of thread count).
     pub fn run(&self) -> ScenarioReport {
         let outcomes = run_trials(self.scenario.trials, self.scenario.base_seed, |seed| {
-            self.run_seeded(seed, false).0
+            self.run_seeded(seed, Probe::NONE).0
         });
         ScenarioReport {
             scenario: self.scenario.clone(),
@@ -271,7 +301,9 @@ impl ScenarioRunner {
     pub fn run_with_trial0_trace(&self) -> (ScenarioReport, String) {
         let base = self.scenario.base_seed;
         let results = run_trials(self.scenario.trials, base, |seed| {
-            self.run_seeded(seed, seed == base)
+            let probe = if seed == base { Probe::TRACE } else { Probe::NONE };
+            let (outcome, trace, _) = self.run_seeded(seed, probe);
+            (outcome, trace)
         });
         let mut trace = None;
         let outcomes = results
@@ -295,15 +327,31 @@ impl ScenarioRunner {
     /// Runs the single trial with index `trial` (master seed
     /// `base_seed.wrapping_add(trial)`, matching the parallel path).
     pub fn run_trial(&self, trial: usize) -> TrialOutcome {
-        self.run_seeded(self.scenario.base_seed.wrapping_add(trial as u64), false)
+        self.run_seeded(self.scenario.base_seed.wrapping_add(trial as u64), Probe::NONE)
             .0
+    }
+
+    /// Runs trial `trial` with engine telemetry attached, returning the
+    /// outcome plus the engine's metrics. The outcome is identical to
+    /// [`ScenarioRunner::run_trial`] — telemetry observes, it never
+    /// feeds back. The metrics are `None` for workloads that wrap the
+    /// engine behind an adapter that hides it (the MAC flood).
+    pub fn run_trial_instrumented(
+        &self,
+        trial: usize,
+    ) -> (TrialOutcome, Option<telemetry::EngineMetrics>) {
+        let (outcome, _, metrics) = self.run_seeded(
+            self.scenario.base_seed.wrapping_add(trial as u64),
+            Probe::TELEMETRY,
+        );
+        (outcome, metrics)
     }
 
     /// Runs trial `trial` and returns its full execution trace as JSON.
     /// Identical `(scenario, trial)` pairs produce byte-identical JSON —
     /// the determinism contract replay tests assert.
     pub fn trial_trace_json(&self, trial: usize) -> String {
-        self.run_seeded(self.scenario.base_seed.wrapping_add(trial as u64), true)
+        self.run_seeded(self.scenario.base_seed.wrapping_add(trial as u64), Probe::TRACE)
             .1
             .expect("trace requested")
     }
@@ -322,7 +370,12 @@ impl ScenarioRunner {
         }
     }
 
-    fn configuration(&self, master_seed: u64, recording: RecordingPolicy) -> Configuration {
+    fn configuration(&self, master_seed: u64, probe: Probe) -> Configuration {
+        self.base_configuration(master_seed, Self::recording_for(probe.trace))
+            .with_telemetry(probe.telemetry)
+    }
+
+    fn base_configuration(&self, master_seed: u64, recording: RecordingPolicy) -> Configuration {
         // All trials share one `Arc`d graph; only the scheduler and
         // fault plan are per-trial values.
         let config = match self.scenario.adversary.build_oblivious(master_seed) {
@@ -356,12 +409,12 @@ impl ScenarioRunner {
         }
     }
 
-    fn run_seeded(&self, master_seed: u64, want_trace: bool) -> (TrialOutcome, Option<String>) {
+    fn run_seeded(&self, master_seed: u64, probe: Probe) -> TrialCapture {
         match &self.scenario.workload {
             WorkloadSpec::SeedAgreement {
                 epsilon1,
                 seed_bits,
-            } => self.run_seed_agreement(*epsilon1, *seed_bits, master_seed, want_trace),
+            } => self.run_seed_agreement(*epsilon1, *seed_bits, master_seed, probe),
             WorkloadSpec::LocalBroadcast {
                 epsilon1,
                 senders,
@@ -371,16 +424,16 @@ impl ScenarioRunner {
                 senders,
                 *messages_per_sender,
                 master_seed,
-                want_trace,
+                probe,
             ),
             WorkloadSpec::Decay { senders } => {
-                self.run_baseline(None, senders, master_seed, want_trace)
+                self.run_baseline(None, senders, master_seed, probe)
             }
             WorkloadSpec::Uniform { p, senders } => {
-                self.run_baseline(Some(*p), senders, master_seed, want_trace)
+                self.run_baseline(Some(*p), senders, master_seed, probe)
             }
             WorkloadSpec::AmacFlood { epsilon1, sources } => {
-                self.run_amac_flood(*epsilon1, sources, master_seed, want_trace)
+                self.run_amac_flood(*epsilon1, sources, master_seed, probe)
             }
         }
     }
@@ -390,20 +443,21 @@ impl ScenarioRunner {
         epsilon1: f64,
         seed_bits: usize,
         master_seed: u64,
-        want_trace: bool,
-    ) -> (TrialOutcome, Option<String>) {
+        probe: Probe,
+    ) -> TrialCapture {
         let cfg = SeedConfig::practical(epsilon1, seed_bits);
         let delta = self.graph.delta();
         let horizon = self.horizon(cfg.phase_len(), cfg.total_rounds(delta));
         let n = self.graph.len();
         let procs: Vec<SeedProcess> = (0..n).map(|_| SeedProcess::new(cfg.clone())).collect();
         let mut engine = Engine::new(
-            self.configuration(master_seed, Self::recording_for(want_trace)),
+            self.configuration(master_seed, probe),
             procs,
             Box::new(NullEnvironment),
             master_seed,
         );
         let stop_satisfied = self.drive(&mut engine, horizon, |_decide| true);
+        let metrics = engine.take_telemetry();
         let trace = engine.trace();
         let spec_ok = seed_spec::check_well_formedness(trace).is_ok()
             && seed_spec::check_consistency(trace).is_ok()
@@ -423,8 +477,10 @@ impl ScenarioRunner {
             max_owners,
             spec_ok,
         };
-        let json = want_trace.then(|| serde_json::to_string(trace).expect("trace serializes"));
-        (outcome, json)
+        let json = probe
+            .trace
+            .then(|| serde_json::to_string(trace).expect("trace serializes"));
+        (outcome, json, metrics)
     }
 
     fn run_local_broadcast(
@@ -433,8 +489,8 @@ impl ScenarioRunner {
         senders: &[usize],
         messages_per_sender: u64,
         master_seed: u64,
-        want_trace: bool,
-    ) -> (TrialOutcome, Option<String>) {
+        probe: Probe,
+    ) -> TrialCapture {
         let cfg = LbConfig::practical(epsilon1);
         let params = cfg.resolve(
             self.topo.r,
@@ -456,13 +512,14 @@ impl ScenarioRunner {
         let env = QueueWorkload::new(queues, 1);
         let procs: Vec<LbProcess> = (0..n).map(|_| LbProcess::new(cfg.clone())).collect();
         let mut engine = Engine::new(
-            self.configuration(master_seed, Self::recording_for(want_trace)),
+            self.configuration(master_seed, probe),
             procs,
             Box::new(env),
             master_seed,
         );
         let stop_satisfied =
             self.drive(&mut engine, horizon, |o: &LbOutput| !o.is_ack());
+        let metrics = engine.take_telemetry();
         let trace = engine.trace();
         let spec_ok = lb_spec::check_timely_ack(trace, params.t_ack_rounds()).is_ok()
             && lb_spec::check_validity(trace, &self.graph).is_ok();
@@ -481,8 +538,10 @@ impl ScenarioRunner {
             max_owners: None,
             spec_ok,
         };
-        let json = want_trace.then(|| serde_json::to_string(trace).expect("trace serializes"));
-        (outcome, json)
+        let json = probe
+            .trace
+            .then(|| serde_json::to_string(trace).expect("trace serializes"));
+        (outcome, json, metrics)
     }
 
     fn run_baseline(
@@ -490,8 +549,8 @@ impl ScenarioRunner {
         uniform_p: Option<f64>,
         senders: &[usize],
         master_seed: u64,
-        want_trace: bool,
-    ) -> (TrialOutcome, Option<String>) {
+        probe: Probe,
+    ) -> TrialCapture {
         let horizon = self.horizon(BASELINE_PHASE_ROUNDS, BASELINE_COMPLETE_ROUNDS);
         let n = self.graph.len();
         let mk = || -> FixedScheduleProcess {
@@ -506,13 +565,14 @@ impl ScenarioRunner {
             .map(|&v| (1, NodeId(v), LbInput::Bcast(Payload::new(v as u64, 0))))
             .collect();
         let mut engine = Engine::new(
-            self.configuration(master_seed, Self::recording_for(want_trace)),
+            self.configuration(master_seed, probe),
             procs,
             Box::new(ScriptedEnvironment::new(script)),
             master_seed,
         );
         let stop_satisfied =
             self.drive(&mut engine, horizon, |o: &LbOutput| !o.is_ack());
+        let metrics = engine.take_telemetry();
         let trace = engine.trace();
         let outcome = TrialOutcome {
             master_seed,
@@ -529,8 +589,10 @@ impl ScenarioRunner {
             max_owners: None,
             spec_ok: true,
         };
-        let json = want_trace.then(|| serde_json::to_string(trace).expect("trace serializes"));
-        (outcome, json)
+        let json = probe
+            .trace
+            .then(|| serde_json::to_string(trace).expect("trace serializes"));
+        (outcome, json, metrics)
     }
 
     fn run_amac_flood(
@@ -538,8 +600,8 @@ impl ScenarioRunner {
         epsilon1: f64,
         sources: &[usize],
         master_seed: u64,
-        want_trace: bool,
-    ) -> (TrialOutcome, Option<String>) {
+        probe: Probe,
+    ) -> TrialCapture {
         let cfg = LbConfig::with_constants(epsilon1, 1.0, 2.0, 1.0);
         let sched = self
             .scenario
@@ -570,8 +632,11 @@ impl ScenarioRunner {
             max_owners: None,
             spec_ok: true,
         };
-        let json = want_trace.then(|| serde_json::to_string(trace).expect("trace serializes"));
-        (outcome, json)
+        let json = probe
+            .trace
+            .then(|| serde_json::to_string(trace).expect("trace serializes"));
+        // The MAC adapter owns the engine; its metrics are not exposed.
+        (outcome, json, None)
     }
 
     /// Runs `engine` to the stop condition: plain budgets run `horizon`
@@ -869,6 +934,60 @@ mod tests {
                 "{shards} shards: trial-0 trace must be byte-identical"
             );
         }
+    }
+
+    #[test]
+    fn instrumented_trial_matches_plain_and_reports_metrics() {
+        // Telemetry observes only: the instrumented outcome equals the
+        // plain one field-for-field, the trace replay is untouched, and
+        // the returned metrics describe the same execution.
+        let runner = ScenarioRunner::new(
+            small_lb("probe")
+                .drop_burst(5, 30, 0.5)
+                .stop(StopSpec::Rounds { rounds: 60 })
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let plain = runner.run_trial(0);
+        let trace = runner.trial_trace_json(0);
+        let (instrumented, metrics) = runner.run_trial_instrumented(0);
+        assert_eq!(plain.rounds, instrumented.rounds);
+        assert_eq!(plain.acks, instrumented.acks);
+        assert_eq!(plain.recvs, instrumented.recvs);
+        assert_eq!(plain.totals, instrumented.totals);
+        assert_eq!(plain.first_ack, instrumented.first_ack);
+        assert_eq!(trace, runner.trial_trace_json(0));
+        let m = metrics.expect("engine workload exposes metrics");
+        assert_eq!(m.rounds, plain.rounds);
+        assert_eq!(m.round_ns.count(), m.rounds);
+        assert_eq!(m.transmissions, plain.totals.transmitters as u64);
+        assert_eq!(m.deliveries, plain.totals.deliveries as u64);
+        assert!(m.busy_ns() > 0);
+    }
+
+    #[test]
+    fn amac_instrumented_trial_reports_no_engine_metrics() {
+        let s = ScenarioBuilder::new(
+            "flood",
+            TopologySpec::Line {
+                n: 3,
+                spacing: 0.9,
+                r: 1.0,
+            },
+            WorkloadSpec::AmacFlood {
+                epsilon1: 0.25,
+                sources: vec![0],
+            },
+        )
+        .adversary(AdversarySpec::Bernoulli { p: 0.5 })
+        .trials(1)
+        .build()
+        .unwrap();
+        let runner = ScenarioRunner::new(s).unwrap();
+        let (outcome, metrics) = runner.run_trial_instrumented(0);
+        assert!(metrics.is_none(), "the MAC adapter hides the engine");
+        assert_eq!(outcome.rounds, runner.run_trial(0).rounds);
     }
 
     #[test]

@@ -589,9 +589,29 @@ struct SweepRow {
     ack_trials: usize,
     delivery_latency: Option<f64>,
     delivery_trials: usize,
+    /// First-ack round percentiles over observing trials (histogram
+    /// extraction: exact below 256 rounds, deterministic).
+    ack_p50: Option<u64>,
+    ack_p95: Option<u64>,
+    ack_p99: Option<u64>,
+    /// Watched-delivery round percentiles over observing trials.
+    delivery_p50: Option<u64>,
+    delivery_p95: Option<u64>,
+    delivery_p99: Option<u64>,
     acks: f64,
     deliveries: f64,
     spec_ok_rate: f64,
+}
+
+/// Display rendering for an optional percentile: the round number, or
+/// a dash when no trial observed the event.
+fn pnum(v: Option<u64>) -> String {
+    v.map_or("—".into(), |v| v.to_string())
+}
+
+/// CSV rendering for an optional percentile: empty cell when absent.
+fn popt(v: Option<u64>) -> String {
+    v.map(|v| v.to_string()).unwrap_or_default()
 }
 
 /// A sweep's outcome tables: the long-format grid table (the CSV
@@ -629,6 +649,12 @@ impl SweepReport {
                     ack_trials: m.ack_trials,
                     delivery_latency: m.delivery_latency,
                     delivery_trials: m.delivery_trials,
+                    ack_p50: m.ack_p50,
+                    ack_p95: m.ack_p95,
+                    ack_p99: m.ack_p99,
+                    delivery_p50: m.delivery_p50,
+                    delivery_p95: m.delivery_p95,
+                    delivery_p99: m.delivery_p99,
                     acks: m.acks,
                     deliveries: m.deliveries,
                     spec_ok_rate: m.spec_ok_rate,
@@ -664,6 +690,12 @@ impl SweepReport {
             "ack_trials",
             "delivery_latency",
             "delivery_trials",
+            "ack_p50",
+            "ack_p95",
+            "ack_p99",
+            "delivery_p50",
+            "delivery_p95",
+            "delivery_p99",
         ]);
         let mut t = Table::new(
             format!("{}-grid", self.name),
@@ -683,6 +715,12 @@ impl SweepReport {
                 r.ack_trials.to_string(),
                 r.delivery_latency.map_or("—".into(), fnum),
                 r.delivery_trials.to_string(),
+                pnum(r.ack_p50),
+                pnum(r.ack_p95),
+                pnum(r.ack_p99),
+                pnum(r.delivery_p50),
+                pnum(r.delivery_p95),
+                pnum(r.delivery_p99),
             ]);
             t.push_row(row);
         }
@@ -718,6 +756,12 @@ impl SweepReport {
                 "ack_trials",
                 "delivery_latency",
                 "delivery_trials",
+                "ack_p50",
+                "ack_p95",
+                "ack_p99",
+                "delivery_p50",
+                "delivery_p95",
+                "delivery_p99",
             ]
             .map(String::from),
         );
@@ -735,6 +779,12 @@ impl SweepReport {
                 r.ack_trials.to_string(),
                 opt(r.delivery_latency),
                 r.delivery_trials.to_string(),
+                popt(r.ack_p50),
+                popt(r.ack_p95),
+                popt(r.ack_p99),
+                popt(r.delivery_p50),
+                popt(r.delivery_p95),
+                popt(r.delivery_p99),
             ]);
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
@@ -1390,7 +1440,13 @@ mod tests {
                 "ack_latency",
                 "ack_trials",
                 "delivery_latency",
-                "delivery_trials"
+                "delivery_trials",
+                "ack_p50",
+                "ack_p95",
+                "ack_p99",
+                "delivery_p50",
+                "delivery_p95",
+                "delivery_p99"
             ]
         );
         let curves = sweep.curve_tables();
@@ -1428,6 +1484,12 @@ mod tests {
                 ack_trials: 3,
                 delivery_latency: None,
                 delivery_trials: 0,
+                ack_p50: Some(7),
+                ack_p95: Some(9),
+                ack_p99: Some(9),
+                delivery_p50: None,
+                delivery_p95: None,
+                delivery_p99: None,
                 acks: 1234.5678901234567,
                 deliveries: 2.0,
                 spec_ok_rate: 1.0,
@@ -1438,11 +1500,12 @@ mod tests {
         assert_eq!(
             lines[0],
             "point,p,trials,spec_ok_rate,acks,deliveries,ack_latency,ack_trials,\
-             delivery_latency,delivery_trials"
+             delivery_latency,delivery_trials,ack_p50,ack_p95,ack_p99,\
+             delivery_p50,delivery_p95,delivery_p99"
         );
         assert_eq!(
             lines[1],
-            "tiny@p=a,a,3,1,1234.5678901234567,2,0.3333333333333333,3,,0"
+            "tiny@p=a,a,3,1,1234.5678901234567,2,0.3333333333333333,3,,0,7,9,9,,,"
         );
         assert!(!csv.contains('—'), "dashes are display-table-only");
         // The markdown/terminal table keeps its display conventions.

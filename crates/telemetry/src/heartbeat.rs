@@ -1,0 +1,162 @@
+//! Live progress heartbeat for long campaign/sweep runs.
+//!
+//! Workers call [`Heartbeat::trial_done`] (and the dispatcher
+//! [`Heartbeat::scenario_done`]) from any thread; the heartbeat
+//! rate-limits itself and writes a single status line to stderr:
+//!
+//! ```text
+//! campaign: 3/14 scenarios | 120/448 trials | 5321.4 trials/s | ETA 0.1s
+//! ```
+//!
+//! On a TTY the line redraws in place with `\r`; when stderr is
+//! redirected (CI) it emits whole lines so the log stays readable.
+//! Progress goes to stderr only — stdout report bytes are untouched,
+//! preserving the determinism contract.
+
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub struct Heartbeat {
+    label: String,
+    total_trials: u64,
+    total_scenarios: u64,
+    trials_done: AtomicU64,
+    scenarios_done: AtomicU64,
+    start: Instant,
+    min_interval: Duration,
+    tty: bool,
+    printer: Mutex<PrinterState>,
+}
+
+struct PrinterState {
+    last_print: Option<Instant>,
+    dirty_line: bool,
+}
+
+impl Heartbeat {
+    /// A heartbeat for `total_trials` trials across `total_scenarios`
+    /// scenarios (pass 1 scenario for single-run mode), printing at
+    /// most every 500 ms.
+    pub fn new(label: impl Into<String>, total_scenarios: u64, total_trials: u64) -> Self {
+        Self::with_interval(label, total_scenarios, total_trials, Duration::from_millis(500))
+    }
+
+    pub fn with_interval(
+        label: impl Into<String>,
+        total_scenarios: u64,
+        total_trials: u64,
+        min_interval: Duration,
+    ) -> Self {
+        Heartbeat {
+            label: label.into(),
+            total_trials,
+            total_scenarios,
+            trials_done: AtomicU64::new(0),
+            scenarios_done: AtomicU64::new(0),
+            start: Instant::now(),
+            min_interval,
+            tty: std::io::stderr().is_terminal(),
+            printer: Mutex::new(PrinterState { last_print: None, dirty_line: false }),
+        }
+    }
+
+    pub fn trials_done(&self) -> u64 {
+        self.trials_done.load(Ordering::Relaxed)
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Count one finished trial; prints if the rate limit allows.
+    pub fn trial_done(&self) {
+        self.trials_done.fetch_add(1, Ordering::Relaxed);
+        self.maybe_print(false);
+    }
+
+    /// Count one fully-drained scenario.
+    pub fn scenario_done(&self) {
+        self.scenarios_done.fetch_add(1, Ordering::Relaxed);
+        self.maybe_print(false);
+    }
+
+    /// Print the final status line (always, regardless of rate limit)
+    /// and terminate any in-place redraw with a newline.
+    pub fn finish(&self) {
+        self.maybe_print(true);
+        let mut p = self.printer.lock().unwrap();
+        if p.dirty_line {
+            eprintln!();
+            p.dirty_line = false;
+        }
+    }
+
+    fn status_line(&self) -> String {
+        let trials = self.trials_done.load(Ordering::Relaxed);
+        let scenarios = self.scenarios_done.load(Ordering::Relaxed);
+        let secs = self.start.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 { trials as f64 / secs } else { 0.0 };
+        let eta = if rate > 0.0 && trials < self.total_trials {
+            format!("{:.1}s", (self.total_trials - trials) as f64 / rate)
+        } else if trials >= self.total_trials {
+            "0.0s".to_string()
+        } else {
+            "?".to_string()
+        };
+        format!(
+            "{}: {}/{} scenarios | {}/{} trials | {:.1} trials/s | ETA {}",
+            self.label, scenarios, self.total_scenarios, trials, self.total_trials, rate, eta
+        )
+    }
+
+    fn maybe_print(&self, force: bool) {
+        let Ok(mut p) = self.printer.lock() else { return };
+        let now = Instant::now();
+        let due = match p.last_print {
+            None => true,
+            Some(last) => now.duration_since(last) >= self.min_interval,
+        };
+        if !(force || due) {
+            return;
+        }
+        p.last_print = Some(now);
+        let line = self.status_line();
+        let mut err = std::io::stderr().lock();
+        if self.tty {
+            let _ = write!(err, "\r\x1b[2K{line}");
+            let _ = err.flush();
+            p.dirty_line = true;
+        } else {
+            let _ = writeln!(err, "{line}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_status_line() {
+        let hb = Heartbeat::with_interval("test", 2, 10, Duration::from_secs(3600));
+        for _ in 0..4 {
+            hb.trial_done();
+        }
+        hb.scenario_done();
+        assert_eq!(hb.trials_done(), 4);
+        let line = hb.status_line();
+        assert!(line.starts_with("test: 1/2 scenarios | 4/10 trials |"), "{line}");
+        assert!(line.contains("ETA"), "{line}");
+    }
+
+    #[test]
+    fn finished_run_reports_zero_eta() {
+        let hb = Heartbeat::with_interval("t", 1, 2, Duration::from_secs(3600));
+        hb.trial_done();
+        hb.trial_done();
+        assert!(hb.status_line().contains("ETA 0.0s"));
+        hb.finish();
+    }
+}
