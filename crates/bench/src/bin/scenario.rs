@@ -6,6 +6,7 @@
 //! ```text
 //! scenario --list
 //! scenario <name | file.json> [--trials N] [--seed S] [--shards N]
+//!          [--transport sim|mock-net]  # substrate override (see docs/transport.md)
 //!          [--save-trace PATH]   # trial 0's full trace as JSON
 //!          [--export PATH]       # write the scenario itself as JSON
 //!          [--telemetry PATH]    # JSONL run journal (see docs/observability.md)
@@ -55,7 +56,9 @@
 //! ```
 
 use scenario::sweep::{self, SweepReport, SweepSpec};
-use scenario::{registry, Campaign, GoldenMetrics, RunTelemetry, Scenario, ScenarioRunner};
+use scenario::{
+    registry, Campaign, GoldenMetrics, RunTelemetry, Scenario, ScenarioRunner, TransportSpec,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use telemetry::Heartbeat;
@@ -66,7 +69,7 @@ const GOLDEN_DIR: &str = "scenarios/golden";
 fn usage() -> String {
     "usage: scenario --list\n       \
      scenario <name | file.json> [--trials N] [--seed S] [--shards N] \
-     [--save-trace PATH] [--export PATH] [--telemetry PATH]\n       \
+     [--transport sim|mock-net] [--save-trace PATH] [--export PATH] [--telemetry PATH]\n       \
      scenario campaign [name | set.json ...] [--out PATH] [--golden DIR] \
      [--check | --bless] [--telemetry PATH] [--trials N] [--threads N] [--shards N]\n       \
      scenario sweep <name | sweep.json> [--out PATH] [--csv PATH] \
@@ -167,7 +170,10 @@ fn load(selector: &str) -> Result<Scenario, String> {
 fn run_single(args: &[String]) -> Result<ExitCode, String> {
     let positionals = parse_positionals(
         args,
-        &["--trials", "--seed", "--shards", "--save-trace", "--export", "--telemetry"],
+        &[
+            "--trials", "--seed", "--shards", "--transport", "--save-trace", "--export",
+            "--telemetry",
+        ],
         &[],
     )?;
     let selector = match positionals.as_slice() {
@@ -187,6 +193,20 @@ fn run_single(args: &[String]) -> Result<ExitCode, String> {
             .parse()
             .map_err(|e| format!("--seed {s}: not a u64 ({e})"))?;
     }
+    if let Some(t) = arg_value(args, "--transport") {
+        // The override swaps the substrate only: `mock-net` selects the
+        // synchronous mock network (delay 0, no loss, no partitions),
+        // whose executions byte-compare equal to the simulator's. Richer
+        // channel models (delay, loss, partitions) live in the scenario
+        // file's `transport` field.
+        scenario.transport = match t.as_str() {
+            "sim" => TransportSpec::Sim,
+            "mock-net" => TransportSpec::mock_net_synchronous(),
+            other => {
+                return Err(format!("--transport {other:?}: expected 'sim' or 'mock-net'"))
+            }
+        };
+    }
 
     // Validate (ScenarioRunner::new) before exporting, so --export can
     // never leave behind a file the loader itself would reject.
@@ -203,13 +223,14 @@ fn run_single(args: &[String]) -> Result<ExitCode, String> {
     let s = runner.scenario();
     let topo = runner.topology();
     eprintln!(
-        "== scenario {} — n = {}, Δ = {}, Δ' = {}, {} workload, {} adversary, {} trial(s) ==",
+        "== scenario {} — n = {}, Δ = {}, Δ' = {}, {} workload, {} adversary, {} transport, {} trial(s) ==",
         s.name,
         topo.graph.len(),
         topo.graph.delta(),
         topo.graph.delta_prime(),
         s.workload.name(),
         s.adversary.name(),
+        s.transport.name(),
         s.trials,
     );
     if !s.description.is_empty() {

@@ -42,6 +42,29 @@ pub struct EngineCase {
     pub node_rounds_per_sec: f64,
 }
 
+/// One mock-net transport measurement: the chatter workload running as
+/// a cluster of node runtimes over `MockNetTransport` with one round of
+/// per-hop delay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransportCase {
+    /// Case name (`mock-net-<n>`).
+    pub case: String,
+    /// Vertex count of the measured topology.
+    pub nodes: usize,
+    /// Rounds executed in the timed window.
+    pub rounds: u64,
+    /// Wall-clock seconds for the timed window.
+    pub elapsed_s: f64,
+    /// Delivered messages per wall-clock second — the transport's
+    /// end-to-end throughput (send fan-out, inbox queues, and collision
+    /// classification included).
+    pub messages_per_sec: f64,
+    /// Mean rounds between a message's send and its delivery, measured
+    /// from a full-recording run (equals the configured per-hop delay on
+    /// the mock network; a real-socket backend would add queueing here).
+    pub delivery_latency_rounds: f64,
+}
+
 /// The campaign fan-out measurement: repeated runs of the pinned
 /// scenario subset on the default worker pool.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -72,6 +95,11 @@ pub struct BenchReport {
     /// written before the section existed.
     #[serde(default)]
     pub scale: Vec<EngineCase>,
+    /// The transport section: the chatter workload as a node-runtime
+    /// cluster over the mock network (see docs/transport.md). Empty in
+    /// reports written before the section existed.
+    #[serde(default)]
+    pub transport: Vec<TransportCase>,
     /// Campaign fan-out measurement.
     pub campaign: CampaignPerf,
 }
@@ -134,6 +162,33 @@ impl BenchReport {
                 }
             }
         }
+        // `transport` may be empty (pre-transport reports) but any
+        // present case carries finite positive measurements.
+        for c in &self.transport {
+            if c.case.is_empty() {
+                return Err("transport case: empty name".into());
+            }
+            if c.nodes == 0 || c.rounds == 0 {
+                return Err(format!("transport case {}: zero nodes or rounds", c.case));
+            }
+            for (field, v) in [
+                ("elapsed_s", c.elapsed_s),
+                ("messages_per_sec", c.messages_per_sec),
+            ] {
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!(
+                        "transport case {}: {field} must be finite and positive, got {v}",
+                        c.case
+                    ));
+                }
+            }
+            if !c.delivery_latency_rounds.is_finite() || c.delivery_latency_rounds < 0.0 {
+                return Err(format!(
+                    "transport case {}: delivery_latency_rounds must be finite and >= 0, got {}",
+                    c.case, c.delivery_latency_rounds
+                ));
+            }
+        }
         let c = &self.campaign;
         if c.scenarios.is_empty() {
             return Err("campaign: needs at least one scenario".into());
@@ -167,6 +222,15 @@ impl BenchReport {
                 out.push_str(&format!(
                     "  {:<28} n = {:>5}  {:>10.0} rounds/s  {:>12.0} node-rounds/s\n",
                     c.case, c.nodes, c.rounds_per_sec, c.node_rounds_per_sec
+                ));
+            }
+        }
+        if !self.transport.is_empty() {
+            out.push_str("transport (mock-net cluster):\n");
+            for c in &self.transport {
+                out.push_str(&format!(
+                    "  {:<28} n = {:>5}  {:>10.0} msgs/s  {:>6.2} rounds/hop\n",
+                    c.case, c.nodes, c.messages_per_sec, c.delivery_latency_rounds
                 ));
             }
         }
@@ -261,17 +325,22 @@ pub fn compare(old: &BenchReport, new: &BenchReport, threshold: f64) -> CompareR
     let mut cases = Vec::new();
     let mut missing = Vec::new();
     let mut added = Vec::new();
+    // Transport cases ride along on their own throughput number; a
+    // baseline without the section simply reports them as added cases
+    // (informational churn), never as regressions.
     let old_cases: Vec<(&str, f64)> = old
         .engine
         .iter()
         .chain(&old.scale)
         .map(|c| (c.case.as_str(), c.node_rounds_per_sec))
+        .chain(old.transport.iter().map(|c| (c.case.as_str(), c.messages_per_sec)))
         .collect();
     let new_cases: Vec<(&str, f64)> = new
         .engine
         .iter()
         .chain(&new.scale)
         .map(|c| (c.case.as_str(), c.node_rounds_per_sec))
+        .chain(new.transport.iter().map(|c| (c.case.as_str(), c.messages_per_sec)))
         .collect();
     for &(name, old_v) in &old_cases {
         match new_cases.iter().find(|(n, _)| *n == name) {
@@ -447,6 +516,78 @@ pub fn scale_cases(rounds: u64) -> Vec<EngineCase> {
         .collect()
 }
 
+/// Measures the chatter workload as a node-runtime cluster over the
+/// mock network (full `G'` link set, one round of per-hop delay) on an
+/// RGG of `n` vertices: a timed stats-only window for throughput, plus a
+/// short full-recording run for the measured per-hop delivery latency.
+pub fn measure_transport_case(n: usize, rounds: u64) -> TransportCase {
+    use net::{Cluster, ClusterConfig, MockNetConfig, MockNetTransport};
+    use radio_sim::topology::{random_geometric, RggParams};
+    let topo = random_geometric(RggParams {
+        n,
+        side: (n as f64 / 8.0).sqrt(),
+        r: 2.0,
+        grey_reliable_p: 0.1,
+        grey_unreliable_p: 0.8,
+        seed: 7,
+    });
+    let config = MockNetConfig {
+        delay_rounds: 1,
+        ..MockNetConfig::default()
+    };
+    let cluster = |recording: RecordingPolicy| {
+        let procs: Vec<Chatter> = (0..n).map(|_| Chatter).collect();
+        Cluster::new(
+            ClusterConfig::new(topo.graph.clone())
+                .with_r(topo.r)
+                .with_recording(recording),
+            MockNetTransport::new(topo.graph.clone(), config.clone(), 0xBEEF),
+            procs,
+            Box::new(NullEnvironment),
+            0xBEEF,
+        )
+    };
+
+    // Timed window: stats-only recording, warmed up like the engine
+    // cases so scratch sizing lands outside the measurement.
+    let mut timed = cluster(RecordingPolicy::stats_only());
+    timed.run(16);
+    timed.reserve_rounds(rounds);
+    let start = Instant::now();
+    timed.run(rounds);
+    let elapsed = start.elapsed().as_secs_f64();
+    let warmup_deliveries = timed.trace().round_stats[..16]
+        .iter()
+        .map(|s| s.deliveries as u64)
+        .sum::<u64>();
+    let deliveries = timed.trace().total_stats().deliveries as u64 - warmup_deliveries;
+
+    // Latency probe: a short full-recording run; the chatter message is
+    // its send round, so delivery latency is `round - msg` per reception.
+    let mut probe = cluster(RecordingPolicy::full());
+    probe.run(rounds.min(128));
+    let (sum, count) = probe
+        .trace()
+        .receptions()
+        .fold((0u64, 0u64), |(s, c), (round, _, _, &msg)| {
+            (s + (round - msg), c + 1)
+        });
+
+    TransportCase {
+        case: format!("mock-net-{n}"),
+        nodes: n,
+        rounds,
+        elapsed_s: elapsed,
+        messages_per_sec: deliveries as f64 / elapsed,
+        delivery_latency_rounds: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+    }
+}
+
+/// The transport case set: mock-net clusters at `n = 64` and `n = 256`.
+pub fn transport_cases(rounds: u64) -> Vec<TransportCase> {
+    [64usize, 256].into_iter().map(|n| measure_transport_case(n, rounds)).collect()
+}
+
 /// Runs the pinned campaign subset `repetitions` times and returns the
 /// timed fan-out measurement.
 pub fn measure_campaign(repetitions: u32) -> CampaignPerf {
@@ -484,6 +625,7 @@ pub fn run(quick: bool) -> BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
         engine: engine_cases(rounds),
         scale: scale_cases(scale_rounds),
+        transport: transport_cases(rounds),
         campaign: measure_campaign(reps),
     }
 }
@@ -537,7 +679,10 @@ mod tests {
 
         // Identical reports: every ratio is 1.0, nothing regresses.
         let same = compare(&base, &base, 0.5);
-        assert_eq!(same.cases.len(), base.engine.len() + base.scale.len() + 1);
+        assert_eq!(
+            same.cases.len(),
+            base.engine.len() + base.scale.len() + base.transport.len() + 1
+        );
         assert!(same.regressions().is_empty());
         assert!(same.missing.is_empty() && same.added.is_empty());
         assert!(same.summary().contains("no regressions"));
@@ -575,6 +720,40 @@ mod tests {
         assert_eq!(cmp.added, vec!["scale-new/bernoulli".to_string()]);
         assert!(cmp.summary().contains("baseline only"));
         assert!(cmp.summary().contains("new case"));
+    }
+
+    #[test]
+    fn reports_without_a_transport_section_still_load_and_compare() {
+        // Pre-transport BENCH.json files have no `transport` key: they
+        // parse (empty section), validate, and compare against a report
+        // that has one — the new cases surface as informational churn,
+        // never as regressions.
+        let base = run(true);
+        let mut legacy = base.clone();
+        legacy.transport.clear();
+        let json = legacy.to_json();
+        let stripped = json.replace("\"transport\": [],\n  ", "");
+        assert_ne!(json, stripped, "test must actually strip the key");
+        let back = BenchReport::from_json(&stripped).unwrap();
+        assert!(back.transport.is_empty());
+        assert!(!back.summary().contains("mock-net"));
+
+        let cmp = compare(&back, &base, 0.5);
+        assert!(cmp.regressions().is_empty());
+        assert_eq!(
+            cmp.added,
+            base.transport.iter().map(|c| c.case.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn transport_cases_measure_throughput_and_delay() {
+        let case = measure_transport_case(64, 32);
+        assert_eq!(case.nodes, 64);
+        assert!(case.messages_per_sec > 0.0);
+        // The mock net is configured with one round of per-hop delay and
+        // the latency probe measures exactly that.
+        assert_eq!(case.delivery_latency_rounds, 1.0);
     }
 
     #[test]

@@ -1,0 +1,585 @@
+//! The [`Transport`] trait and its two implementations.
+//!
+//! A transport answers exactly one question per synchronous round: given
+//! every node's transmit/listen decision, what does every node *hear*?
+//! The answer is a [`Reception`] per vertex; the cluster (or any other
+//! runtime) owns everything else — process callbacks, fault masks,
+//! traces, statistics.
+
+use radio_sim::graph::{DualGraph, NodeId};
+use radio_sim::process::Action;
+use radio_sim::resolve;
+use radio_sim::rng::{derive_stream, StreamKind};
+use radio_sim::scheduler::{AdaptiveScheduler, LinkScheduler, SchedulerBox};
+use rand::Rng;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// What one node hears in one round, as reported by a transport.
+///
+/// Radio semantics, no collision detection: a node that transmitted
+/// this round hears nothing regardless of the variant reported for it
+/// (the runtime ignores transports' values for transmitters), and
+/// `Silence` vs `Collision` are indistinguishable *to the process*
+/// (both deliver `⊥`) — the distinction exists only for the outside
+/// view (channel statistics).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reception<M> {
+    /// Nothing arrived at this node.
+    Silence,
+    /// Two or more arrivals interfered; the node hears noise (`⊥`).
+    Collision,
+    /// Exactly one message arrived.
+    Message {
+        /// The transmitting vertex.
+        from: NodeId,
+        /// The message.
+        msg: M,
+    },
+}
+
+/// How per-round transmit decisions become per-node receptions.
+///
+/// The contract:
+///
+/// * `resolve_round` is called exactly once per round, with strictly
+///   increasing round numbers starting at 1.
+/// * `actions` has one entry per vertex; `Action::Transmit(m)` means
+///   the vertex put `m` on the air this round.
+/// * On return, `receptions` has one entry per vertex describing what
+///   that vertex hears *this* round (which, for a delayed transport,
+///   may be traffic transmitted in an earlier round).
+/// * Entries for transmitting vertices are ignored by the runtime
+///   (a radio cannot listen while transmitting).
+/// * The result must be a pure function of the construction parameters
+///   and the sequence of `resolve_round` calls — transports are
+///   deterministic and replayable, like everything else in the stack.
+pub trait Transport<M: Clone + Send>: Send {
+    /// Resolves one round of traffic.
+    fn resolve_round(&mut self, round: u64, actions: &[Action<M>], receptions: &mut Vec<Reception<M>>);
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str {
+        "transport"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimTransport
+// ---------------------------------------------------------------------------
+
+/// The simulator channel behind the trait: the link scheduler picks the
+/// round topology and [`radio_sim::resolve`] applies the collision rule —
+/// the *same* free functions [`radio_sim::engine::Engine::step`] calls,
+/// serial or sharded, so executions through this transport are
+/// byte-identical to the engine's by construction.
+pub struct SimTransport {
+    graph: Arc<DualGraph>,
+    scheduler: SchedulerBox,
+    shards: usize,
+    transmitting: Vec<bool>,
+    tx_list: Vec<usize>,
+    tx_neighbors: Vec<u32>,
+    last_sender: Vec<NodeId>,
+}
+
+impl SimTransport {
+    /// A sim transport over the given dual graph and oblivious link
+    /// scheduler, serial resolution.
+    pub fn new(graph: impl Into<Arc<DualGraph>>, scheduler: Box<dyn LinkScheduler>) -> Self {
+        let graph = graph.into();
+        let n = graph.len();
+        SimTransport {
+            graph,
+            scheduler: SchedulerBox::Oblivious(scheduler),
+            shards: 1,
+            transmitting: vec![false; n],
+            tx_list: Vec::with_capacity(n),
+            tx_neighbors: vec![0; n],
+            last_sender: vec![NodeId(0); n],
+        }
+    }
+
+    /// Replaces the scheduler with an adaptive one (E8 separation runs).
+    pub fn with_adaptive(mut self, scheduler: Box<dyn AdaptiveScheduler>) -> Self {
+        self.scheduler = SchedulerBox::Adaptive(scheduler);
+        self
+    }
+
+    /// Fans reception resolution out over `shards` worker threads
+    /// (clamped to ≥ 1; byte-identical for every value, exactly like
+    /// [`radio_sim::engine::Configuration::with_shards`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The dual graph this transport resolves over.
+    pub fn graph(&self) -> &DualGraph {
+        &self.graph
+    }
+}
+
+impl<M: Clone + Send> Transport<M> for SimTransport {
+    fn resolve_round(
+        &mut self,
+        round: u64,
+        actions: &[Action<M>],
+        receptions: &mut Vec<Reception<M>>,
+    ) {
+        let n = self.graph.len();
+        assert_eq!(actions.len(), n, "one action per vertex required");
+        self.transmitting.fill(false);
+        self.tx_list.clear();
+        for (v, a) in actions.iter().enumerate() {
+            if matches!(a, Action::Transmit(_)) {
+                self.transmitting[v] = true;
+                self.tx_list.push(v);
+            }
+        }
+        let selection = match &mut self.scheduler {
+            SchedulerBox::Oblivious(s) => s.extra_edges(round, &self.graph),
+            SchedulerBox::Adaptive(s) => s.extra_edges(round, &self.graph, &self.transmitting),
+        };
+        if self.shards > 1 {
+            resolve::resolve_receptions_sharded(
+                &self.graph,
+                &selection,
+                &self.transmitting,
+                self.shards,
+                &mut self.tx_neighbors,
+                &mut self.last_sender,
+                None,
+            );
+        } else {
+            resolve::resolve_receptions_serial(
+                &self.graph,
+                &selection,
+                &self.transmitting,
+                &self.tx_list,
+                &mut self.tx_neighbors,
+                &mut self.last_sender,
+            );
+        }
+        receptions.clear();
+        for u in 0..n {
+            receptions.push(match self.tx_neighbors[u] {
+                0 => Reception::Silence,
+                1 => {
+                    let from = self.last_sender[u];
+                    let msg = match &actions[from.0] {
+                        Action::Transmit(m) => m.clone(),
+                        Action::Receive => unreachable!("sender counted but not transmitting"),
+                    };
+                    Reception::Message { from, msg }
+                }
+                _ => Reception::Collision,
+            });
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MockNetTransport
+// ---------------------------------------------------------------------------
+
+/// Which static links the mock network routes over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSet {
+    /// The reliable edges `E` only (the `Gₜ = G` worst case).
+    Reliable,
+    /// Every edge of `E'` (the `Gₜ = G'` best case).
+    All,
+}
+
+/// A network partition: during rounds `[from, to]` (inclusive), every
+/// link crossing the boundary between `nodes` and its complement is cut
+/// (messages on it are silently lost at send time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionWindow {
+    /// One side of the partition (vertex indices).
+    pub nodes: Vec<usize>,
+    /// First partitioned round (inclusive; rounds start at 1).
+    pub from: u64,
+    /// Last partitioned round (inclusive).
+    pub to: u64,
+}
+
+/// The mock network's delay/loss/partition model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MockNetConfig {
+    /// The static link set messages route over.
+    pub links: LinkSet,
+    /// Per-hop delivery delay in rounds. `0` reproduces the simulator's
+    /// synchronous round structure exactly (the sim-equivalence
+    /// keystone); `d > 0` delivers a round-`t` transmission at round
+    /// `t + d`.
+    pub delay_rounds: u64,
+    /// Independent per-link Bernoulli loss probability, applied at send
+    /// time. Coins come from `StreamKind::Transport` (one stream per
+    /// send round, consumed in (sender, link-neighbor) ascending order),
+    /// so loss never perturbs process, scheduler, or fault randomness —
+    /// and `loss_p = 0` consumes no coins at all.
+    pub loss_p: f64,
+    /// Partition windows; a link crossed by *any* active window is cut.
+    pub partitions: Vec<PartitionWindow>,
+}
+
+impl Default for MockNetConfig {
+    fn default() -> Self {
+        MockNetConfig {
+            links: LinkSet::All,
+            delay_rounds: 0,
+            loss_p: 0.0,
+            partitions: Vec::new(),
+        }
+    }
+}
+
+/// A deterministic mock network: per-node inbox queues over an event
+/// loop keyed by arrival round.
+///
+/// Every transmission fans out over the sender's static links; each
+/// copy independently survives partitions and loss, then sits in the
+/// receiver's inbox until its arrival round. At arrival, radio
+/// semantics apply: a receiver that is itself transmitting discards the
+/// arrivals (it cannot listen), one surviving arrival is a delivery,
+/// and two or more interfere ([`Reception::Collision`]).
+pub struct MockNetTransport<M> {
+    graph: Arc<DualGraph>,
+    config: MockNetConfig,
+    master_seed: u64,
+    /// `partition_masks[w][v]` — is `v` on the `nodes` side of window `w`?
+    partition_masks: Vec<Vec<bool>>,
+    /// Ring buffer of inboxes: `pending[d]` holds `(receiver, sender, msg)`
+    /// entries arriving `d` rounds from the round being resolved.
+    pending: VecDeque<Vec<(usize, NodeId, M)>>,
+}
+
+impl<M: Clone + Send> MockNetTransport<M> {
+    /// A mock network over the given graph's links, seeded like every
+    /// other component (the seed selects the loss-coin streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_p` is outside `[0, 1]`, or a partition window is
+    /// malformed (zero-based round, empty or out-of-range node set).
+    pub fn new(graph: impl Into<Arc<DualGraph>>, config: MockNetConfig, master_seed: u64) -> Self {
+        let graph = graph.into();
+        let n = graph.len();
+        assert!(
+            (0.0..=1.0).contains(&config.loss_p),
+            "loss_p must be in [0, 1], got {}",
+            config.loss_p
+        );
+        let partition_masks = config
+            .partitions
+            .iter()
+            .map(|w| {
+                assert!(w.from >= 1 && w.to >= w.from, "malformed partition window");
+                let mut mask = vec![false; n];
+                for &v in &w.nodes {
+                    assert!(v < n, "partition references vertex {v} out of range");
+                    mask[v] = true;
+                }
+                mask
+            })
+            .collect();
+        let mut pending = VecDeque::new();
+        for _ in 0..=config.delay_rounds {
+            pending.push_back(Vec::new());
+        }
+        MockNetTransport {
+            graph,
+            config,
+            master_seed,
+            partition_masks,
+            pending,
+        }
+    }
+
+    /// The model this network runs.
+    pub fn config(&self) -> &MockNetConfig {
+        &self.config
+    }
+}
+
+impl<M: Clone + Send> Transport<M> for MockNetTransport<M> {
+    fn resolve_round(
+        &mut self,
+        round: u64,
+        actions: &[Action<M>],
+        receptions: &mut Vec<Reception<M>>,
+    ) {
+        let n = self.graph.len();
+        assert_eq!(actions.len(), n, "one action per vertex required");
+        let graph = Arc::clone(&self.graph);
+        let delay = self.config.delay_rounds as usize;
+        debug_assert_eq!(self.pending.len(), delay + 1);
+
+        // Send phase: fan each transmission out over the sender's
+        // links, drop partition-crossing and lossy copies at send time,
+        // enqueue the rest for arrival at `round + delay`. Loss coins
+        // are flipped in (sender ascending, neighbor ascending) order
+        // from this round's Transport stream, and only when the model
+        // is actually lossy.
+        let active_masks: Vec<&Vec<bool>> = self
+            .config
+            .partitions
+            .iter()
+            .zip(&self.partition_masks)
+            .filter(|(w, _)| round >= w.from && round <= w.to)
+            .map(|(_, mask)| mask)
+            .collect();
+        let loss_p = self.config.loss_p;
+        let mut loss_rng = None;
+        for (v, action) in actions.iter().enumerate() {
+            let Action::Transmit(m) = action else { continue };
+            let neighbors = match self.config.links {
+                LinkSet::Reliable => graph.reliable_neighbors(NodeId(v)),
+                LinkSet::All => graph.all_neighbors(NodeId(v)),
+            };
+            for &u in neighbors {
+                if active_masks.iter().any(|mask| mask[v] != mask[u.0]) {
+                    continue;
+                }
+                if loss_p > 0.0 {
+                    let rng = loss_rng.get_or_insert_with(|| {
+                        derive_stream(self.master_seed, StreamKind::Transport, round)
+                    });
+                    if rng.gen_bool(loss_p) {
+                        continue;
+                    }
+                }
+                self.pending[delay].push((u.0, NodeId(v), m.clone()));
+            }
+        }
+
+        // Arrival phase: drain this round's inbox slot and classify.
+        // Entries for vertices transmitting this round are discarded —
+        // a radio cannot listen while transmitting, and a delayed
+        // message is not buffered past its arrival round.
+        let arrivals = self.pending.pop_front().expect("ring is never empty");
+        self.pending.push_back(Vec::new());
+        receptions.clear();
+        receptions.extend((0..n).map(|_| Reception::Silence));
+        for (u, from, msg) in arrivals {
+            receptions[u] = match receptions[u] {
+                Reception::Silence => Reception::Message { from, msg },
+                _ => Reception::Collision,
+            };
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mock-net"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_sim::scheduler::{AllExtraEdges, NoExtraEdges};
+
+    fn line4() -> DualGraph {
+        DualGraph::new(4, [(0, 1), (1, 2), (2, 3)], [(0, 2), (1, 3)]).unwrap()
+    }
+
+    fn tx(m: u32) -> Action<u32> {
+        Action::Transmit(m)
+    }
+
+    fn rx() -> Action<u32> {
+        Action::Receive
+    }
+
+    #[test]
+    fn sim_transport_classifies_by_collision_rule() {
+        let mut t = SimTransport::new(line4(), Box::new(NoExtraEdges));
+        let mut out = Vec::new();
+        // 0 and 2 transmit: 1 collides, 3 hears 2.
+        t.resolve_round(1, &[tx(7), rx(), tx(9), rx()], &mut out);
+        assert_eq!(out[1], Reception::Collision);
+        assert_eq!(
+            out[3],
+            Reception::Message {
+                from: NodeId(2),
+                msg: 9
+            }
+        );
+        assert_eq!(out[0], Reception::Silence);
+    }
+
+    #[test]
+    fn sim_transport_extra_edges_follow_the_scheduler() {
+        let g = DualGraph::new(2, [], [(0, 1)]).unwrap();
+        let mut with = SimTransport::new(g.clone(), Box::new(AllExtraEdges));
+        let mut out = Vec::new();
+        with.resolve_round(1, &[tx(5), rx()], &mut out);
+        assert!(matches!(out[1], Reception::Message { .. }));
+        let mut without = SimTransport::new(g, Box::new(NoExtraEdges));
+        without.resolve_round(1, &[tx(5), rx()], &mut out);
+        assert_eq!(out[1], Reception::Silence);
+    }
+
+    #[test]
+    fn sim_transport_sharded_matches_serial() {
+        let mut serial = SimTransport::new(line4(), Box::new(AllExtraEdges));
+        let mut sharded = SimTransport::new(line4(), Box::new(AllExtraEdges)).with_shards(3);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for round in 1..=4 {
+            let actions = [tx(round as u32), rx(), tx(100 + round as u32), rx()];
+            serial.resolve_round(round, &actions, &mut a);
+            sharded.resolve_round(round, &actions, &mut b);
+            assert_eq!(a, b, "round {round}");
+        }
+    }
+
+    #[test]
+    fn mock_net_zero_delay_matches_sim_on_reliable_links() {
+        let mut sim = SimTransport::new(line4(), Box::new(NoExtraEdges));
+        let mut mock = MockNetTransport::new(
+            line4(),
+            MockNetConfig {
+                links: LinkSet::Reliable,
+                ..MockNetConfig::default()
+            },
+            0xFEED,
+        );
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for round in 1..=6 {
+            let actions = match round % 3 {
+                0 => [tx(1), rx(), tx(2), rx()],
+                1 => [rx(), tx(3), rx(), rx()],
+                _ => [tx(4), rx(), rx(), tx(5)],
+            };
+            sim.resolve_round(round, &actions, &mut a);
+            mock.resolve_round(round, &actions, &mut b);
+            // Transmitter entries are unspecified; compare listeners.
+            for u in 0..4 {
+                if matches!(actions[u], Action::Receive) {
+                    assert_eq!(a[u], b[u], "round {round}, u {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mock_net_delays_delivery_by_the_configured_rounds() {
+        let g = DualGraph::reliable_only(2, [(0, 1)]).unwrap();
+        let mut mock = MockNetTransport::new(
+            g,
+            MockNetConfig {
+                links: LinkSet::Reliable,
+                delay_rounds: 2,
+                ..MockNetConfig::default()
+            },
+            1,
+        );
+        let mut out = Vec::new();
+        mock.resolve_round(1, &[tx(7), rx()], &mut out);
+        assert_eq!(out[1], Reception::Silence, "in flight");
+        mock.resolve_round(2, &[rx(), rx()], &mut out);
+        assert_eq!(out[1], Reception::Silence, "still in flight");
+        mock.resolve_round(3, &[rx(), rx()], &mut out);
+        assert_eq!(
+            out[1],
+            Reception::Message {
+                from: NodeId(0),
+                msg: 7
+            },
+            "arrives two rounds after transmission"
+        );
+    }
+
+    #[test]
+    fn mock_net_discards_arrivals_at_a_transmitting_receiver() {
+        let g = DualGraph::reliable_only(2, [(0, 1)]).unwrap();
+        let mut mock = MockNetTransport::new(
+            g,
+            MockNetConfig {
+                links: LinkSet::Reliable,
+                delay_rounds: 1,
+                ..MockNetConfig::default()
+            },
+            1,
+        );
+        let mut out = Vec::new();
+        mock.resolve_round(1, &[tx(7), rx()], &mut out);
+        // Node 1 transmits exactly when node 0's message arrives: lost.
+        mock.resolve_round(2, &[rx(), tx(8)], &mut out);
+        mock.resolve_round(3, &[rx(), rx()], &mut out);
+        assert_eq!(out[1], Reception::Silence, "not buffered past arrival");
+    }
+
+    #[test]
+    fn partition_window_cuts_crossing_links_only_while_active() {
+        let g = DualGraph::reliable_only(3, [(0, 1), (1, 2)]).unwrap();
+        let mut mock = MockNetTransport::new(
+            g,
+            MockNetConfig {
+                links: LinkSet::Reliable,
+                partitions: vec![PartitionWindow {
+                    nodes: vec![0],
+                    from: 2,
+                    to: 3,
+                }],
+                ..MockNetConfig::default()
+            },
+            1,
+        );
+        let mut out = Vec::new();
+        for round in 1..=4 {
+            mock.resolve_round(round, &[tx(round as u32), rx(), tx(50)], &mut out);
+            let heard = matches!(out[1], Reception::Message { .. } | Reception::Collision);
+            if (2..=3).contains(&round) {
+                // 0→1 is cut, so only 2's copy arrives: a clean delivery.
+                assert_eq!(
+                    out[1],
+                    Reception::Message {
+                        from: NodeId(2),
+                        msg: 50
+                    },
+                    "round {round}: the uncut side still delivers"
+                );
+            } else {
+                assert!(heard, "round {round}");
+                assert_eq!(out[1], Reception::Collision, "both sides reach 1");
+            }
+        }
+    }
+
+    #[test]
+    fn loss_coins_are_deterministic_and_seed_sensitive() {
+        let g = DualGraph::reliable_only(2, [(0, 1)]).unwrap();
+        let run = |seed: u64| {
+            let mut mock = MockNetTransport::new(
+                g.clone(),
+                MockNetConfig {
+                    links: LinkSet::Reliable,
+                    loss_p: 0.5,
+                    ..MockNetConfig::default()
+                },
+                seed,
+            );
+            let mut out = Vec::new();
+            (1..=64)
+                .map(|round| {
+                    mock.resolve_round(round, &[tx(round as u32), rx()], &mut out);
+                    matches!(out[1], Reception::Message { .. })
+                })
+                .collect::<Vec<bool>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same losses");
+        assert_ne!(a, run(8), "loss pattern tracks the seed");
+        let delivered = a.iter().filter(|&&d| d).count();
+        assert!((10..=54).contains(&delivered), "p = 0.5 loses about half");
+    }
+}

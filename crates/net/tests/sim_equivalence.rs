@@ -1,0 +1,158 @@
+//! Property: a [`net::Cluster`] over [`net::SimTransport`] is
+//! byte-for-byte the engine — same events, same channel stats — across
+//! random topologies, schedulers, shard counts, and fault plans. This is
+//! the refactor's load-bearing invariant: the transport trait added a
+//! seam, not a behavior.
+
+use net::{Cluster, ClusterConfig, SimTransport};
+use proptest::prelude::*;
+use radio_sim::engine::{Configuration, Engine};
+use radio_sim::environment::NullEnvironment;
+use radio_sim::fault::FaultPlan;
+use radio_sim::graph::NodeId;
+use radio_sim::process::{Action, Context, Process};
+use radio_sim::scheduler::{
+    AllExtraEdges, BernoulliEdges, LinkScheduler, NoExtraEdges,
+};
+use radio_sim::topology::{self, RggParams};
+use radio_sim::trace::RecordingPolicy;
+
+/// Transmits on a seed-and-vertex-dependent schedule, relays the last
+/// heard message — enough state to make any desynchronization between
+/// the two executors cascade into a visible trace difference.
+#[derive(Clone)]
+struct Chatter {
+    vertex: u32,
+    period: u64,
+    last_heard: Option<u32>,
+}
+
+impl Process for Chatter {
+    type Msg = u32;
+    type Input = ();
+    type Output = u32;
+
+    fn on_input(&mut self, _input: (), _ctx: &mut Context<'_>) {}
+
+    fn transmit(&mut self, ctx: &mut Context<'_>) -> Action<u32> {
+        // A random coin every round keeps each node's RNG advancing, so
+        // a skipped-callback bug anywhere desyncs everything after it.
+        use rand::Rng;
+        let coin = ctx.rng.gen_bool(0.5);
+        if ctx.round % self.period == u64::from(self.vertex) % self.period && coin {
+            Action::Transmit(self.vertex * 1000 + (ctx.round as u32 % 1000))
+        } else {
+            Action::Receive
+        }
+    }
+
+    fn on_receive(&mut self, msg: Option<u32>, _ctx: &mut Context<'_>) {
+        if msg.is_some() {
+            self.last_heard = msg;
+        }
+    }
+
+    fn take_outputs(&mut self) -> Vec<u32> {
+        self.last_heard.take().into_iter().collect()
+    }
+}
+
+fn chatters(n: usize, period: u64) -> Vec<Chatter> {
+    (0..n)
+        .map(|v| Chatter {
+            vertex: v as u32,
+            period,
+            last_heard: None,
+        })
+        .collect()
+}
+
+fn scheduler_for(kind: u8, p: f64, seed: u64) -> Box<dyn LinkScheduler> {
+    match kind % 3 {
+        0 => Box::new(AllExtraEdges),
+        1 => Box::new(NoExtraEdges),
+        _ => Box::new(BernoulliEdges::new(p, seed)),
+    }
+}
+
+fn fault_plan_for(kind: u8, n: usize, drop_p: f64) -> FaultPlan {
+    let plan = FaultPlan::none();
+    match kind % 4 {
+        0 => plan,
+        1 => plan.with_crash(NodeId(n / 2), 2, Some(6)),
+        2 => plan
+            .with_crash(NodeId(n / 3), 3, Some(7))
+            .with_jam(vec![NodeId(0), NodeId(n - 1)], 2, 5),
+        _ => plan
+            .with_jam(vec![NodeId(n / 2)], 4, 8)
+            .with_drop_burst(1, 10, drop_p),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sim_cluster_is_byte_identical_to_the_engine(
+        n in 8usize..40,
+        topo_seed in 0u64..1000,
+        master_seed in 0u64..1000,
+        sched_kind in 0u8..3,
+        sched_p in 0.1f64..0.9,
+        fault_kind in 0u8..4,
+        drop_p in 0.0f64..1.0,
+        shards in 1usize..5,
+        period in 2u64..6,
+        rounds in 4u64..16,
+    ) {
+        let topo = topology::random_geometric(RggParams {
+            n,
+            side: 3.0,
+            r: 2.0,
+            grey_reliable_p: 0.2,
+            grey_unreliable_p: 0.7,
+            seed: topo_seed,
+        });
+        let faults = fault_plan_for(fault_kind, n, drop_p);
+
+        let config = Configuration::new(
+                topo.graph.clone(),
+                scheduler_for(sched_kind, sched_p, topo_seed),
+            )
+            .with_r(topo.r)
+            .with_recording(RecordingPolicy::full())
+            .with_faults(faults.clone())
+            .with_shards(shards);
+        let mut engine = Engine::new(
+            config,
+            chatters(n, period),
+            Box::new(NullEnvironment),
+            master_seed,
+        );
+        engine.run(rounds);
+        let reference = engine.into_trace();
+
+        let transport = SimTransport::new(
+                topo.graph.clone(),
+                scheduler_for(sched_kind, sched_p, topo_seed),
+            )
+            .with_shards(shards);
+        let config = ClusterConfig::new(topo.graph.clone())
+            .with_r(topo.r)
+            .with_recording(RecordingPolicy::full())
+            .with_faults(faults);
+        let mut cluster = Cluster::new(
+            config,
+            transport,
+            chatters(n, period),
+            Box::new(NullEnvironment),
+            master_seed,
+        );
+        cluster.run(rounds);
+        let trace = cluster.into_trace();
+
+        prop_assert_eq!(&reference.events, &trace.events);
+        prop_assert_eq!(&reference.round_stats, &trace.round_stats);
+        prop_assert_eq!(reference.rounds, trace.rounds);
+    }
+}

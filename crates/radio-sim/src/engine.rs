@@ -18,7 +18,7 @@ use crate::fault::FaultPlan;
 use crate::graph::{DualGraph, NodeId};
 use crate::process::{Action, Context, ProcId, Process};
 use crate::rng::{derive_stream, StreamKind};
-use crate::scheduler::{EdgeSelection, LinkScheduler, SchedulerBox};
+use crate::scheduler::{LinkScheduler, SchedulerBox};
 use crate::trace::{Event, EventKind, FaultEvent, RecordingPolicy, Trace};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -443,9 +443,24 @@ impl<P: Process> Engine<P> {
 
         if self.shards > 1 {
             let shard_busy = telem.as_deref_mut().map(|t| t.shard_busy_ns.as_mut_slice());
-            self.resolve_receptions_sharded(&selection, shard_busy);
+            crate::resolve::resolve_receptions_sharded(
+                &self.graph,
+                &selection,
+                &self.transmitting,
+                self.shards,
+                &mut self.tx_neighbors,
+                &mut self.last_sender,
+                shard_busy,
+            );
         } else {
-            self.resolve_receptions_serial(&selection);
+            crate::resolve::resolve_receptions_serial(
+                &self.graph,
+                &selection,
+                &self.transmitting,
+                &self.tx_list,
+                &mut self.tx_neighbors,
+                &mut self.last_sender,
+            );
         }
         let resolve_ns = span.lap();
 
@@ -597,148 +612,6 @@ impl<P: Process> Engine<P> {
 
         self.round = round;
         self.trace.rounds = round;
-    }
-
-    /// The scatter-form reception resolution: walk each transmitter's
-    /// neighborhood, accumulating into `tx_neighbors`/`last_sender`.
-    /// O(Σ deg(transmitter)); the zero-alloc steady-state path.
-    fn resolve_receptions_serial(&mut self, selection: &EdgeSelection) {
-        // `last_sender` needs no reset: it is only read where
-        // `tx_neighbors` is nonzero, which implies a write this round.
-        self.tx_neighbors.fill(0);
-        let transmitting = &self.transmitting;
-        let tx_neighbors = &mut self.tx_neighbors;
-        let last_sender = &mut self.last_sender;
-        for &v in &self.tx_list {
-            for &u in self.graph.reliable_neighbors(NodeId(v)) {
-                tx_neighbors[u.0] += 1;
-                last_sender[u.0] = NodeId(v);
-            }
-        }
-        let mut apply_edge = |a: NodeId, b: NodeId| {
-            if transmitting[a.0] {
-                tx_neighbors[b.0] += 1;
-                last_sender[b.0] = a;
-            }
-            if transmitting[b.0] {
-                tx_neighbors[a.0] += 1;
-                last_sender[a.0] = b;
-            }
-        };
-        match selection {
-            EdgeSelection::All => {
-                for e in self.graph.extra_edges() {
-                    apply_edge(e.a, e.b);
-                }
-            }
-            EdgeSelection::None => {}
-            EdgeSelection::Subset(edges) => {
-                for e in edges {
-                    debug_assert!(
-                        self.graph.extra_edges().binary_search(e).is_ok(),
-                        "scheduler returned edge {e:?} outside E' \\ E"
-                    );
-                    apply_edge(e.a, e.b);
-                }
-            }
-        }
-    }
-
-    /// The gather-form reception resolution, fanned out over `shards`
-    /// disjoint vertex ranges: each shard counts the transmitting
-    /// neighbors of its own vertices against the read-only CSR adjacency
-    /// and writes only its own slice of `tx_neighbors`/`last_sender`, so
-    /// the result is byte-identical to the serial scatter by
-    /// construction — when exactly one neighbor transmits, both forms
-    /// record that unique sender, and `last_sender` is never read
-    /// otherwise. Per-round `Subset` selections are applied serially on
-    /// top (they are sparse; the O(n + m) gather is the scalable part).
-    ///
-    /// `shard_busy` (when telemetry is on) receives each worker chunk's
-    /// busy nanoseconds, one pre-allocated slot per shard — timing is
-    /// taken inside the worker, so the slots measure compute skew, not
-    /// spawn/join overhead.
-    fn resolve_receptions_sharded(
-        &mut self,
-        selection: &EdgeSelection,
-        shard_busy: Option<&mut [u64]>,
-    ) {
-        let n = self.graph.len();
-        let shards = self.shards.min(n.max(1));
-        let chunk = n.div_ceil(shards);
-        let graph: &DualGraph = &self.graph;
-        let transmitting: &[bool] = &self.transmitting;
-        let gather_extra = matches!(selection, EdgeSelection::All);
-        crossbeam::scope(|s| {
-            let mut tx_rest: &mut [u32] = &mut self.tx_neighbors;
-            let mut ls_rest: &mut [NodeId] = &mut self.last_sender;
-            let mut busy_rest: &mut [u64] = shard_busy.unwrap_or(&mut []);
-            let mut base = 0usize;
-            while !tx_rest.is_empty() {
-                let take = chunk.min(tx_rest.len());
-                let (tx_chunk, tx_tail) = tx_rest.split_at_mut(take);
-                let (ls_chunk, ls_tail) = ls_rest.split_at_mut(take);
-                tx_rest = tx_tail;
-                ls_rest = ls_tail;
-                let busy_slot = if busy_rest.is_empty() {
-                    None
-                } else {
-                    let (head, tail) = std::mem::take(&mut busy_rest).split_at_mut(1);
-                    busy_rest = tail;
-                    Some(&mut head[0])
-                };
-                let lo = base;
-                base += take;
-                s.spawn(move |_| {
-                    let span = telemetry::Stopwatch::armed(busy_slot.is_some());
-                    for (i, (count, sender)) in
-                        tx_chunk.iter_mut().zip(ls_chunk.iter_mut()).enumerate()
-                    {
-                        let u = NodeId(lo + i);
-                        let mut c = 0u32;
-                        let mut from = NodeId(0);
-                        for &v in graph.reliable_neighbors(u) {
-                            if transmitting[v.0] {
-                                c += 1;
-                                from = v;
-                            }
-                        }
-                        if gather_extra {
-                            for &v in graph.extra_neighbors(u) {
-                                if transmitting[v.0] {
-                                    c += 1;
-                                    from = v;
-                                }
-                            }
-                        }
-                        *count = c;
-                        *sender = from;
-                    }
-                    if let Some(slot) = busy_slot {
-                        *slot += span.peek();
-                    }
-                });
-            }
-        })
-        .expect("reception shard panicked");
-        if let EdgeSelection::Subset(edges) = selection {
-            let tx_neighbors = &mut self.tx_neighbors;
-            let last_sender = &mut self.last_sender;
-            for e in edges {
-                debug_assert!(
-                    self.graph.extra_edges().binary_search(e).is_ok(),
-                    "scheduler returned edge {e:?} outside E' \\ E"
-                );
-                if transmitting[e.a.0] {
-                    tx_neighbors[e.b.0] += 1;
-                    last_sender[e.b.0] = e.a;
-                }
-                if transmitting[e.b.0] {
-                    tx_neighbors[e.a.0] += 1;
-                    last_sender[e.a.0] = e.b;
-                }
-            }
-        }
     }
 
     /// Executes `rounds` additional rounds.

@@ -33,6 +33,9 @@
 //! * [`environment`] — deterministic environments that feed inputs and
 //!   consume outputs, per the round structure of Section 2.
 //! * [`engine`] — the synchronous round loop and collision resolution.
+//! * [`resolve`] — the collision rule as free functions (serial scatter
+//!   and sharded gather), shared by the engine and the `net` crate's
+//!   `SimTransport` so both substrates resolve receptions identically.
 //! * [`fault`] — declarative fault plans (node churn, jamming windows,
 //!   message-drop bursts) injected deterministically by the engine.
 //! * [`trace`] — execution traces: the first-class record of an execution
@@ -71,6 +74,7 @@ pub mod fault;
 pub mod geometry;
 pub mod graph;
 pub mod process;
+pub mod resolve;
 pub mod rng;
 pub mod scheduler;
 pub mod topology;

@@ -24,6 +24,10 @@ pub enum StreamKind {
     /// separate so injected faults never perturb process or scheduler
     /// randomness.
     Fault,
+    /// Transport-layer randomness (mock-network loss coins, stream index =
+    /// round), so a lossy transport never perturbs process, scheduler, or
+    /// fault streams.
+    Transport,
 }
 
 impl StreamKind {
@@ -32,7 +36,8 @@ impl StreamKind {
             StreamKind::Process => 0x50524f43, // "PROC"
             StreamKind::Scheduler => 0x53434845,
             StreamKind::Topology => 0x544f504f,
-            StreamKind::Fault => 0x46415554, // "FAUT"
+            StreamKind::Fault => 0x46415554,     // "FAUT"
+            StreamKind::Transport => 0x58505254, // "XPRT"
         }
     }
 }

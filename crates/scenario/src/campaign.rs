@@ -484,6 +484,29 @@ pub struct GoldenMetrics {
     /// pre-existing golden files.
     #[serde(default)]
     pub delivery_trials: usize,
+    /// First-ack round p50, pinned **exactly** when present: the
+    /// percentile comes from the deterministic telemetry histogram, so
+    /// any drift is a real behavior change, not noise. `None` (the
+    /// default, and the value in golden files blessed before these
+    /// fields existed) skips the comparison entirely — the fields are
+    /// opt-in, not a parse break.
+    #[serde(default)]
+    pub ack_p50: Option<u64>,
+    /// First-ack round p95, pinned exactly when present (see `ack_p50`).
+    #[serde(default)]
+    pub ack_p95: Option<u64>,
+    /// First-ack round p99, pinned exactly when present (see `ack_p50`).
+    #[serde(default)]
+    pub ack_p99: Option<u64>,
+    /// Watched-delivery round p50, pinned exactly when present.
+    #[serde(default)]
+    pub delivery_p50: Option<u64>,
+    /// Watched-delivery round p95, pinned exactly when present.
+    #[serde(default)]
+    pub delivery_p95: Option<u64>,
+    /// Watched-delivery round p99, pinned exactly when present.
+    #[serde(default)]
+    pub delivery_p99: Option<u64>,
     /// Mean acknowledgment outputs per trial.
     pub acks: GoldenMetric,
     /// Mean delivery outputs per trial (`recv`s / `decide`s / learned).
@@ -520,6 +543,12 @@ impl GoldenMetrics {
                 tol: default_tol(mean),
             }),
             delivery_trials: m.delivery_trials,
+            ack_p50: m.ack_p50,
+            ack_p95: m.ack_p95,
+            ack_p99: m.ack_p99,
+            delivery_p50: m.delivery_p50,
+            delivery_p95: m.delivery_p95,
+            delivery_p99: m.delivery_p99,
             acks: GoldenMetric {
                 mean: m.acks,
                 tol: default_tol(m.acks),
@@ -644,6 +673,24 @@ impl GoldenMetrics {
             self.delivery_latency.as_ref(),
             m.delivery_latency,
         ));
+        // Percentiles pin exactly when blessed — the histogram is
+        // deterministic — and are skipped entirely for golden files
+        // blessed before the fields existed (opt-in, not a gate break).
+        let percentile = |metric: &str, golden: Option<u64>, actual: Option<u64>| {
+            golden.map(|g| MetricCheck {
+                scenario: name.clone(),
+                metric: metric.into(),
+                expected: g.to_string(),
+                actual: actual.map_or("—".into(), |a| a.to_string()),
+                ok: actual == Some(g),
+            })
+        };
+        rows.extend(percentile("ack p50", self.ack_p50, m.ack_p50));
+        rows.extend(percentile("ack p95", self.ack_p95, m.ack_p95));
+        rows.extend(percentile("ack p99", self.ack_p99, m.ack_p99));
+        rows.extend(percentile("delivery p50", self.delivery_p50, m.delivery_p50));
+        rows.extend(percentile("delivery p95", self.delivery_p95, m.delivery_p95));
+        rows.extend(percentile("delivery p99", self.delivery_p99, m.delivery_p99));
         rows.push(metric("acks", Some(&self.acks), Some(m.acks)));
         rows.push(metric("deliveries", Some(&self.deliveries), Some(m.deliveries)));
         rows.push(metric("spec ok rate", Some(&self.spec_ok_rate), Some(m.spec_ok_rate)));
@@ -919,6 +966,51 @@ mod tests {
         assert_eq!(old.ack_trials, 0);
         let check = report.check(&[old]);
         assert!(check.failures().any(|r| r.metric == "ack trials"));
+    }
+
+    #[test]
+    fn percentiles_are_pinned_exactly_once_blessed() {
+        // A blessed golden carries the deterministic latency percentiles
+        // and pins them exactly: shifting any observing trial's first-ack
+        // round enough to move a percentile slot fails the gate even when
+        // the mean stays within its band.
+        let mut report = Campaign::new(vec![tiny("a", 5)]).unwrap().run();
+        let golden = report.golden();
+        assert!(golden[0].ack_p50.is_some(), "acking scenario blesses p50");
+        assert!(report.check(&golden).passed());
+
+        for o in &mut report.reports[0].outcomes {
+            if let Some(r) = o.first_ack.as_mut() {
+                *r += 500;
+            }
+        }
+        let check = report.check(&golden);
+        assert!(check.failures().any(|r| r.metric == "ack p50"), "{}", check.table());
+    }
+
+    #[test]
+    fn old_golden_files_without_percentiles_skip_those_rows() {
+        // Percentile pins are opt-in: a golden file blessed before the
+        // fields existed parses with `None` and its check has no
+        // percentile rows at all — it passes or fails on the pre-existing
+        // metrics alone.
+        let report = Campaign::new(vec![tiny("a", 5)]).unwrap().run();
+        let golden = &report.golden()[0];
+        let mut legacy = golden.to_json();
+        for field in ["ack_p50", "ack_p95", "ack_p99", "delivery_p50", "delivery_p95", "delivery_p99"] {
+            let key = format!("\"{field}\"");
+            legacy = legacy
+                .lines()
+                .filter(|l| !l.contains(&key))
+                .collect::<Vec<_>>()
+                .join("\n");
+        }
+        assert_ne!(golden.to_json(), legacy, "test must actually strip the fields");
+        let old = GoldenMetrics::from_json(&legacy).unwrap();
+        assert_eq!(old.ack_p50, None);
+        let check = report.check(&[old]);
+        assert!(check.passed(), "{}", check.table());
+        assert!(check.rows.iter().all(|r| !r.metric.contains("p50")));
     }
 
     #[test]

@@ -75,8 +75,8 @@ pub use campaign::{Campaign, CampaignReport, CheckReport, GoldenMetric, GoldenMe
 pub use obs::{RunTelemetry, ScenarioTelemetry};
 pub use runner::{ScenarioReport, ScenarioRunner, TrialOutcome};
 pub use spec::{
-    AdversarySpec, FaultPlanSpec, RegionSpec, Scenario, ScenarioBuilder, ScenarioError, StopSpec,
-    TopologySpec, WorkloadSpec,
+    AdversarySpec, FaultPlanSpec, PartitionSpec, RegionSpec, Scenario, ScenarioBuilder,
+    ScenarioError, StopSpec, TopologySpec, TransportSpec, WorkloadSpec,
 };
 pub use sweep::{OverrideSpec, SweepAxis, SweepGrid, SweepPoint, SweepReport, SweepSpec};
 
@@ -88,8 +88,9 @@ pub mod prelude {
     pub use crate::registry;
     pub use crate::runner::{ScenarioReport, ScenarioRunner, TrialOutcome};
     pub use crate::spec::{
-        AdversarySpec, CrashSpec, DropSpec, FaultPlanSpec, JamSpec, RegionSpec, Scenario,
-        ScenarioBuilder, ScenarioError, StopSpec, TopologySpec, WorkloadSpec,
+        AdversarySpec, CrashSpec, DropSpec, FaultPlanSpec, JamSpec, PartitionSpec, RegionSpec,
+        Scenario, ScenarioBuilder, ScenarioError, StopSpec, TopologySpec, TransportSpec,
+        WorkloadSpec,
     };
     pub use crate::sweep::{
         self, GridPoint, OverrideSpec, SweepAxis, SweepGrid, SweepPoint, SweepReport, SweepSpec,

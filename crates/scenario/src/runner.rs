@@ -10,7 +10,7 @@
 //! serialized trace from [`ScenarioRunner::trial_trace_json`] is
 //! byte-identical across replays.
 
-use crate::spec::{Scenario, ScenarioError, StopSpec, WorkloadSpec};
+use crate::spec::{AdversarySpec, Scenario, ScenarioError, StopSpec, TransportSpec, WorkloadSpec};
 use analysis::runner::run_trials;
 use analysis::stats::Summary;
 use analysis::table::{fnum, Table};
@@ -20,8 +20,9 @@ use local_broadcast::config::LbConfig;
 use local_broadcast::msg::{LbInput, LbOutput, Payload};
 use local_broadcast::service::QueueWorkload;
 use local_broadcast::spec as lb_spec;
+use net::{Cluster, ClusterConfig, LinkSet, MockNetConfig, MockNetTransport, PartitionWindow};
 use radio_sim::engine::{Configuration, Engine};
-use radio_sim::environment::{NullEnvironment, ScriptedEnvironment};
+use radio_sim::environment::{Environment, NullEnvironment, ScriptedEnvironment};
 use radio_sim::fault::FaultPlan;
 use radio_sim::graph::{DualGraph, NodeId};
 use radio_sim::process::Process;
@@ -63,6 +64,52 @@ type TrialCapture = (
     Option<String>,
     Option<telemetry::EngineMetrics>,
 );
+
+/// One trial's executor: the lockstep engine, or a cluster of node
+/// runtimes over the mock network, per the scenario's
+/// [`TransportSpec`]. Both expose the same drive/trace surface, so the
+/// workload runners are substrate-agnostic.
+enum Exec<P: Process> {
+    Sim(Box<Engine<P>>),
+    MockNet(Box<Cluster<P, MockNetTransport<P::Msg>>>),
+}
+
+impl<P: Process> Exec<P> {
+    fn run(&mut self, rounds: u64) {
+        match self {
+            Exec::Sim(e) => e.run(rounds),
+            Exec::MockNet(c) => c.run(rounds),
+        }
+    }
+
+    fn run_until(
+        &mut self,
+        max_rounds: u64,
+        pred: impl FnMut(&Trace<P::Input, P::Output, P::Msg>) -> bool,
+    ) -> bool {
+        match self {
+            Exec::Sim(e) => e.run_until(max_rounds, pred),
+            Exec::MockNet(c) => c.run_until(max_rounds, pred),
+        }
+    }
+
+    fn trace(&self) -> &Trace<P::Input, P::Output, P::Msg> {
+        match self {
+            Exec::Sim(e) => e.trace(),
+            Exec::MockNet(c) => c.trace(),
+        }
+    }
+
+    /// Engine metrics, when the substrate exposes them (the cluster has
+    /// no engine inside, so mock-net trials report `None`, like the MAC
+    /// adapter path).
+    fn take_telemetry(&mut self) -> Option<telemetry::EngineMetrics> {
+        match self {
+            Exec::Sim(e) => e.take_telemetry(),
+            Exec::MockNet(_) => None,
+        }
+    }
+}
 
 /// What one trial measured.
 #[derive(Debug, Clone)]
@@ -375,6 +422,63 @@ impl ScenarioRunner {
             .with_telemetry(probe.telemetry)
     }
 
+    /// Builds the trial executor the scenario's transport calls for:
+    /// the engine, or a mock-net cluster whose static link set comes
+    /// from the adversary (`AllExtraEdges` → all of `G'`,
+    /// `NoExtraEdges` → `G`; validation rejects everything else).
+    fn executor<P: Process>(
+        &self,
+        procs: Vec<P>,
+        env: Box<dyn Environment<P::Input, P::Output>>,
+        master_seed: u64,
+        probe: Probe,
+    ) -> Exec<P> {
+        match &self.scenario.transport {
+            TransportSpec::Sim => Exec::Sim(Box::new(Engine::new(
+                self.configuration(master_seed, probe),
+                procs,
+                env,
+                master_seed,
+            ))),
+            TransportSpec::MockNet {
+                delay_rounds,
+                loss_p,
+                partitions,
+            } => {
+                let links = match self.scenario.adversary {
+                    AdversarySpec::NoExtraEdges => LinkSet::Reliable,
+                    _ => LinkSet::All,
+                };
+                let net_config = MockNetConfig {
+                    links,
+                    delay_rounds: *delay_rounds,
+                    loss_p: *loss_p,
+                    partitions: partitions
+                        .iter()
+                        .map(|w| PartitionWindow {
+                            nodes: w.nodes.clone(),
+                            from: w.from,
+                            to: w.to,
+                        })
+                        .collect(),
+                };
+                let transport =
+                    MockNetTransport::new(Arc::clone(&self.graph), net_config, master_seed);
+                let config = ClusterConfig::new(Arc::clone(&self.graph))
+                    .with_r(self.topo.r)
+                    .with_recording(Self::recording_for(probe.trace))
+                    .with_faults(self.faults.clone());
+                Exec::MockNet(Box::new(Cluster::new(
+                    config,
+                    transport,
+                    procs,
+                    env,
+                    master_seed,
+                )))
+            }
+        }
+    }
+
     fn base_configuration(&self, master_seed: u64, recording: RecordingPolicy) -> Configuration {
         // All trials share one `Arc`d graph; only the scheduler and
         // fault plan are per-trial values.
@@ -450,15 +554,10 @@ impl ScenarioRunner {
         let horizon = self.horizon(cfg.phase_len(), cfg.total_rounds(delta));
         let n = self.graph.len();
         let procs: Vec<SeedProcess> = (0..n).map(|_| SeedProcess::new(cfg.clone())).collect();
-        let mut engine = Engine::new(
-            self.configuration(master_seed, probe),
-            procs,
-            Box::new(NullEnvironment),
-            master_seed,
-        );
-        let stop_satisfied = self.drive(&mut engine, horizon, |_decide| true);
-        let metrics = engine.take_telemetry();
-        let trace = engine.trace();
+        let mut exec = self.executor(procs, Box::new(NullEnvironment), master_seed, probe);
+        let stop_satisfied = self.drive(&mut exec, horizon, |_decide| true);
+        let metrics = exec.take_telemetry();
+        let trace = exec.trace();
         let spec_ok = seed_spec::check_well_formedness(trace).is_ok()
             && seed_spec::check_consistency(trace).is_ok()
             && seed_spec::check_owner_seed_fidelity(trace).is_ok();
@@ -511,16 +610,11 @@ impl ScenarioRunner {
         }
         let env = QueueWorkload::new(queues, 1);
         let procs: Vec<LbProcess> = (0..n).map(|_| LbProcess::new(cfg.clone())).collect();
-        let mut engine = Engine::new(
-            self.configuration(master_seed, probe),
-            procs,
-            Box::new(env),
-            master_seed,
-        );
+        let mut exec = self.executor(procs, Box::new(env), master_seed, probe);
         let stop_satisfied =
-            self.drive(&mut engine, horizon, |o: &LbOutput| !o.is_ack());
-        let metrics = engine.take_telemetry();
-        let trace = engine.trace();
+            self.drive(&mut exec, horizon, |o: &LbOutput| !o.is_ack());
+        let metrics = exec.take_telemetry();
+        let trace = exec.trace();
         let spec_ok = lb_spec::check_timely_ack(trace, params.t_ack_rounds()).is_ok()
             && lb_spec::check_validity(trace, &self.graph).is_ok();
         let outcome = TrialOutcome {
@@ -564,16 +658,12 @@ impl ScenarioRunner {
             .iter()
             .map(|&v| (1, NodeId(v), LbInput::Bcast(Payload::new(v as u64, 0))))
             .collect();
-        let mut engine = Engine::new(
-            self.configuration(master_seed, probe),
-            procs,
-            Box::new(ScriptedEnvironment::new(script)),
-            master_seed,
-        );
+        let mut exec =
+            self.executor(procs, Box::new(ScriptedEnvironment::new(script)), master_seed, probe);
         let stop_satisfied =
-            self.drive(&mut engine, horizon, |o: &LbOutput| !o.is_ack());
-        let metrics = engine.take_telemetry();
-        let trace = engine.trace();
+            self.drive(&mut exec, horizon, |o: &LbOutput| !o.is_ack());
+        let metrics = exec.take_telemetry();
+        let trace = exec.trace();
         let outcome = TrialOutcome {
             master_seed,
             rounds: trace.rounds,
@@ -639,13 +729,13 @@ impl ScenarioRunner {
         (outcome, json, None)
     }
 
-    /// Runs `engine` to the stop condition: plain budgets run `horizon`
-    /// rounds; `FirstDeliveryAt` stops early when an
+    /// Runs the executor to the stop condition: plain budgets run
+    /// `horizon` rounds; `FirstDeliveryAt` stops early when an
     /// `is_delivery`-filtered output appears at the watched node.
     /// Returns whether the stop goal was met.
     fn drive<P: Process>(
         &self,
-        engine: &mut Engine<P>,
+        exec: &mut Exec<P>,
         horizon: u64,
         is_delivery: impl Fn(&P::Output) -> bool,
     ) -> bool {
@@ -656,7 +746,7 @@ impl ScenarioRunner {
                 // only scan events appended since the last check so the
                 // run stays linear in the trace size.
                 let mut seen = 0usize;
-                engine.run_until(horizon, move |t| {
+                exec.run_until(horizon, move |t| {
                     let hit = t.events[seen..].iter().any(|e| {
                         e.node == watch
                             && matches!(&e.kind, EventKind::Output(o) if is_delivery(o))
@@ -666,7 +756,7 @@ impl ScenarioRunner {
                 })
             }
             _ => {
-                engine.run(horizon);
+                exec.run(horizon);
                 true
             }
         }
@@ -1013,6 +1103,98 @@ mod tests {
         assert!(
             report.outcomes.iter().any(|o| o.stop_satisfied),
             "flood completes in at least one trial"
+        );
+    }
+
+    #[test]
+    fn mock_net_scenario_runs_and_reports() {
+        // The transport field swaps the substrate without touching the
+        // workload: an LB broadcast over the mock network still acks, and
+        // faults (a drop burst here) compose with the channel model.
+        let s = small_lb("mock")
+            .drop_burst(5, 20, 0.25)
+            .transport(TransportSpec::MockNet {
+                delay_rounds: 1,
+                loss_p: 0.1,
+                partitions: vec![],
+            })
+            .build()
+            .unwrap();
+        let report = ScenarioRunner::new(s).unwrap().run();
+        assert_eq!(report.outcomes.len(), 2);
+        assert!(
+            report.outcomes.iter().all(|o| o.acks >= 1),
+            "LB acks deterministically even over a delayed, lossy channel"
+        );
+    }
+
+    #[test]
+    fn mock_net_trials_replay_deterministically() {
+        let s = small_lb("mock-replay")
+            .transport(TransportSpec::MockNet {
+                delay_rounds: 2,
+                loss_p: 0.3,
+                partitions: vec![],
+            })
+            .stop(StopSpec::Rounds { rounds: 60 })
+            .trials(3)
+            .build()
+            .unwrap();
+        let runner = ScenarioRunner::new(s).unwrap();
+        let report = runner.run();
+        for (i, o) in report.outcomes.iter().enumerate() {
+            let solo = runner.run_trial(i);
+            assert_eq!(o.totals, solo.totals);
+            assert_eq!(o.acks, solo.acks);
+            assert_eq!(o.first_ack, solo.first_ack);
+        }
+        assert_eq!(runner.trial_trace_json(0), runner.trial_trace_json(0));
+    }
+
+    #[test]
+    fn synchronous_mock_net_matches_the_simulator() {
+        // The keystone at the scenario layer: delay 0 / no loss / no
+        // partitions over the full link set is the `G' = Gₜ` channel, so
+        // outcomes and traces byte-compare equal across substrates.
+        let build = |t: TransportSpec| {
+            small_lb("xport")
+                .adversary(AdversarySpec::AllExtraEdges)
+                .transport(t)
+                .stop(StopSpec::Rounds { rounds: 40 })
+                .build()
+                .unwrap()
+        };
+        let sim = ScenarioRunner::new(build(TransportSpec::Sim)).unwrap();
+        let mock =
+            ScenarioRunner::new(build(TransportSpec::mock_net_synchronous())).unwrap();
+        let a = sim.run();
+        let b = mock.run();
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.master_seed, y.master_seed);
+            assert_eq!(x.rounds, y.rounds);
+            assert_eq!(x.acks, y.acks);
+            assert_eq!(x.recvs, y.recvs);
+            assert_eq!(x.totals, y.totals);
+            assert_eq!(x.first_ack, y.first_ack);
+            assert_eq!(x.first_delivery, y.first_delivery);
+        }
+        assert_eq!(
+            sim.trial_trace_json(0),
+            mock.trial_trace_json(0),
+            "trial-0 replay traces must be byte-identical across substrates"
+        );
+    }
+
+    #[test]
+    fn mock_net_rejects_per_round_adversaries() {
+        let err = small_lb("bad")
+            .adversary(AdversarySpec::Bernoulli { p: 0.5 })
+            .transport(TransportSpec::mock_net_synchronous())
+            .build()
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("static link set"),
+            "got: {err}"
         );
     }
 }

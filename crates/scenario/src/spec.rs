@@ -925,6 +925,115 @@ impl StopSpec {
 }
 
 // ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+/// A network partition window for the mock-net transport: every link
+/// crossing the boundary of `nodes` is cut during rounds `[from, to]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// One side of the partition (vertex indices).
+    pub nodes: Vec<usize>,
+    /// First partitioned round (inclusive; rounds are 1-based).
+    pub from: u64,
+    /// Last partitioned round (inclusive).
+    pub to: u64,
+}
+
+/// Which substrate executes the scenario's trials.
+///
+/// `Sim` (the default — absent in older scenario files) is the lockstep
+/// engine; every golden metric and replay trace is pinned against it.
+/// `MockNet` runs the same processes as a cluster of node runtimes over
+/// the `net` crate's deterministic mock network instead: the adversary
+/// selects the static link set (`AllExtraEdges` → all of `G'`,
+/// `NoExtraEdges` → `G` only; nothing else is expressible over a static
+/// network, so other adversaries are rejected), and the transport adds
+/// per-hop delivery delay, Bernoulli link loss, and partition windows on
+/// top. With delay 0, no loss, and no partitions, mock-net executions are
+/// byte-identical to the simulator's.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum TransportSpec {
+    /// The lockstep simulator engine (the default).
+    #[default]
+    Sim,
+    /// The deterministic mock network from the `net` crate.
+    MockNet {
+        /// Per-hop delivery delay in rounds (0 = synchronous).
+        delay_rounds: u64,
+        /// Independent per-link Bernoulli loss probability.
+        loss_p: f64,
+        /// Partition windows cutting boundary-crossing links.
+        partitions: Vec<PartitionSpec>,
+    },
+}
+
+impl TransportSpec {
+    /// Short name for reports and CLI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportSpec::Sim => "sim",
+            TransportSpec::MockNet { .. } => "mock-net",
+        }
+    }
+
+    /// Whether this is the default simulator transport (used to omit the
+    /// field from serialized scenarios, keeping pre-transport JSON stable).
+    pub fn is_sim(&self) -> bool {
+        matches!(self, TransportSpec::Sim)
+    }
+
+    /// A mock-net transport with no delay, loss, or partitions — the
+    /// configuration whose executions byte-compare equal to the
+    /// simulator's.
+    pub fn mock_net_synchronous() -> Self {
+        TransportSpec::MockNet {
+            delay_rounds: 0,
+            loss_p: 0.0,
+            partitions: Vec::new(),
+        }
+    }
+
+    fn validate(&self, n: usize) -> Result<(), ScenarioError> {
+        let TransportSpec::MockNet {
+            delay_rounds,
+            loss_p,
+            partitions,
+        } = self
+        else {
+            return Ok(());
+        };
+        if *delay_rounds > MAX_STOP_ROUNDS {
+            return Err(invalid(format!(
+                "transport: delay_rounds must be <= {MAX_STOP_ROUNDS}, got {delay_rounds}"
+            )));
+        }
+        if !(0.0..=1.0).contains(loss_p) {
+            return Err(invalid(format!(
+                "transport: loss_p must be in [0, 1], got {loss_p}"
+            )));
+        }
+        for (i, w) in partitions.iter().enumerate() {
+            if w.from < 1 || w.to < w.from {
+                return Err(invalid(format!(
+                    "transport: partition {i} window [{}, {}] is malformed (rounds are 1-based, to >= from)",
+                    w.from, w.to
+                )));
+            }
+            if w.nodes.is_empty() {
+                return Err(invalid(format!("transport: partition {i} has no nodes")));
+            }
+            if let Some(&v) = w.nodes.iter().find(|&&v| v >= n) {
+                return Err(invalid(format!(
+                    "transport: partition {i} references node {v}, out of range for {n} vertices"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Scenario
 // ---------------------------------------------------------------------------
 
@@ -951,6 +1060,10 @@ pub struct Scenario {
     /// Master seed of trial 0; trial `i` uses `base_seed.wrapping_add(i)`
     /// (wrapping, so seeds near `u64::MAX` are legal).
     pub base_seed: u64,
+    /// Which substrate executes the trials (defaults to the simulator,
+    /// so scenario files written before this field existed still parse).
+    #[serde(default)]
+    pub transport: TransportSpec,
 }
 
 impl Scenario {
@@ -987,6 +1100,27 @@ impl Scenario {
             if matches!(self.stop, StopSpec::FirstDeliveryAt { .. }) {
                 return Err(invalid(
                     "amac flood does not support the first-delivery stop condition",
+                ));
+            }
+        }
+        self.transport.validate(n)?;
+        if matches!(self.transport, TransportSpec::MockNet { .. }) {
+            // The mock network routes over a static link set; only the
+            // two static adversaries map onto one. Everything dynamic
+            // (per-round subsets, adaptivity) is the simulator's domain.
+            if !matches!(
+                self.adversary,
+                AdversarySpec::AllExtraEdges | AdversarySpec::NoExtraEdges
+            ) {
+                return Err(invalid(format!(
+                    "transport: mock-net requires a static link set; adversary '{}' \
+                     schedules per-round edges and only runs on the simulator",
+                    self.adversary.name()
+                )));
+            }
+            if let WorkloadSpec::AmacFlood { .. } = self.workload {
+                return Err(invalid(
+                    "transport: amac flood drives its own engine and only runs on the simulator",
                 ));
             }
         }
@@ -1041,6 +1175,7 @@ impl ScenarioBuilder {
                 stop: StopSpec::Complete,
                 trials: 4,
                 base_seed: 1,
+                transport: TransportSpec::default(),
             },
         }
     }
@@ -1108,6 +1243,12 @@ impl ScenarioBuilder {
     /// Sets the base seed.
     pub fn base_seed(mut self, s: u64) -> Self {
         self.scenario.base_seed = s;
+        self
+    }
+
+    /// Selects the execution substrate (simulator or mock network).
+    pub fn transport(mut self, t: TransportSpec) -> Self {
+        self.scenario.transport = t;
         self
     }
 

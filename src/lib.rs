@@ -20,6 +20,9 @@
 //!   experiment suite.
 //! * [`scenario`] — declarative scenario & fault-injection subsystem:
 //!   serde scenario files, the named registry, and the scenario runner.
+//! * [`net`] — the transport abstraction: run the same processes as a
+//!   cluster of node runtimes over the simulator (byte-identical) or a
+//!   deterministic mock network (delay, loss, partitions).
 
 #![forbid(unsafe_code)]
 
@@ -27,6 +30,7 @@ pub use amac;
 pub use analysis;
 pub use baselines;
 pub use local_broadcast;
+pub use net;
 pub use radio_sim;
 pub use scenario;
 pub use seed_agreement;

@@ -58,3 +58,8 @@ fn amac_multimessage_runs() {
 fn scenario_file_demo_runs() {
     run_example("scenario_file_demo");
 }
+
+#[test]
+fn transport_demo_runs() {
+    run_example("transport_demo");
+}
