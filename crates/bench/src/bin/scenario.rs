@@ -1,7 +1,8 @@
 //! Run a declarative scenario — a registry name or a JSON file — and
 //! print experiment-style stats tables; run a whole **campaign** with
-//! the golden-metric regression gate; or expand and run a parameter
-//! **sweep** family into curve tables.
+//! the golden-metric regression gate; expand and run a parameter
+//! **sweep** family into curve tables; or hunt worst-case adversaries
+//! with the budgeted **search** engine (see `docs/search.md`).
 //!
 //! ```text
 //! scenario --list
@@ -10,7 +11,7 @@
 //!          [--save-trace PATH]   # trial 0's full trace as JSON
 //!          [--export PATH]       # write the scenario itself as JSON
 //!          [--telemetry PATH]    # JSONL run journal (see docs/observability.md)
-//! scenario campaign [name | set.json ...]
+//! scenario campaign [name | set.json | scenario.json ...]
 //!          [--out PATH]          # combined markdown report (+ perf footer)
 //!          [--golden DIR]        # golden dir (default scenarios/golden)
 //!          [--check]             # diff against blessed metrics; exit 1 on drift
@@ -26,6 +27,17 @@
 //!          [--bless]             # regenerate the pinned points' golden files
 //!          [--telemetry PATH]    # JSONL run journal
 //!          [--trials N] [--threads N] [--shards N]
+//! scenario search <preset | search.json>
+//!          [--budget N]          # candidate evaluations (overrides the spec)
+//!          [--seed S]            # search seed (overrides the spec)
+//!          [--objective mean-ack|p99-ack|spec-violations]
+//!          [--strategy random|evolve]
+//!          [--trials N]          # trials per candidate
+//!          [--out DIR]           # emit top candidates (default scenarios/found)
+//!          [--top K]             # how many to emit (default 1)
+//!          [--archive PATH]      # full archive JSON (every candidate + ranking)
+//!          [--threads N]         # worker pool size (archive is identical for all)
+//! scenario validate <file.json ...>  # field-level errors; exit 1 if any invalid
 //! scenario journal <PATH>        # validate a telemetry journal; exit 1 if invalid
 //! ```
 //!
@@ -53,8 +65,11 @@
 //! cargo run --release -p bench --bin scenario -- campaign --bless
 //! cargo run --release -p bench --bin scenario -- sweep churn-knee --csv churn.csv
 //! cargo run --release -p bench --bin scenario -- sweep loss-grid --check
+//! cargo run --release -p bench --bin scenario -- search lb-worst --top 3
+//! cargo run --release -p bench --bin scenario -- validate scenarios/found/*.json
 //! ```
 
+use scenario::search::{self, found_scenario, run_search, Objective, SearchSpec, StrategySpec};
 use scenario::sweep::{self, SweepReport, SweepSpec};
 use scenario::{
     registry, Campaign, GoldenMetrics, RunTelemetry, Scenario, ScenarioRunner, TransportSpec,
@@ -70,11 +85,15 @@ fn usage() -> String {
     "usage: scenario --list\n       \
      scenario <name | file.json> [--trials N] [--seed S] [--shards N] \
      [--transport sim|mock-net] [--save-trace PATH] [--export PATH] [--telemetry PATH]\n       \
-     scenario campaign [name | set.json ...] [--out PATH] [--golden DIR] \
+     scenario campaign [name | set.json | scenario.json ...] [--out PATH] [--golden DIR] \
      [--check | --bless] [--telemetry PATH] [--trials N] [--threads N] [--shards N]\n       \
      scenario sweep <name | sweep.json> [--out PATH] [--csv PATH] \
      [--export PATH] [--golden DIR] [--check | --bless] [--telemetry PATH] \
      [--trials N] [--threads N] [--shards N]\n       \
+     scenario search <preset | search.json> [--budget N] [--seed S] \
+     [--objective mean-ack|p99-ack|spec-violations] [--strategy random|evolve] \
+     [--trials N] [--out DIR] [--top K] [--archive PATH] [--threads N]\n       \
+     scenario validate <file.json ...>\n       \
      scenario journal <PATH>"
         .to_string()
 }
@@ -284,26 +303,40 @@ fn run_single(args: &[String]) -> Result<ExitCode, String> {
 // Campaign mode
 // ---------------------------------------------------------------------
 
-/// Resolves campaign selectors: each positional is a registry name, or a
-/// `.json` file holding an array of registry names (a pinned subset).
-/// No selectors = the whole registry.
-fn campaign_scenarios(selectors: &[String]) -> Result<Vec<String>, String> {
+/// Resolves campaign selectors: each positional is a registry name, a
+/// `.json` file holding an array of registry names (a pinned subset),
+/// or a `.json` scenario file — so search-emitted worst cases under
+/// `scenarios/found/` bless and check like registry entries. No
+/// selectors = the whole registry.
+fn campaign_scenarios(selectors: &[String]) -> Result<Vec<Scenario>, String> {
     if selectors.is_empty() {
-        return Ok(registry::names());
+        return Ok(registry::all());
     }
-    let mut names = Vec::new();
+    let by_name = |name: &str| {
+        registry::find(name)
+            .ok_or_else(|| format!("unknown registry scenario {name:?} (see scenario --list)"))
+    };
+    let mut scenarios = Vec::new();
     for sel in selectors {
         if sel.ends_with(".json") {
             let data = std::fs::read_to_string(sel)
                 .map_err(|e| format!("cannot read scenario set {sel}: {e}"))?;
-            let listed: Vec<String> = serde_json::from_str(&data)
-                .map_err(|e| format!("scenario set {sel}: expected a JSON array of names ({e})"))?;
-            names.extend(listed);
+            if let Ok(listed) = serde_json::from_str::<Vec<String>>(&data) {
+                for name in &listed {
+                    scenarios.push(by_name(name)?);
+                }
+            } else {
+                scenarios.push(
+                    Scenario::from_json(&data).map_err(|e| format!(
+                        "{sel}: neither a JSON array of registry names nor a scenario ({e})"
+                    ))?,
+                );
+            }
         } else {
-            names.push(sel.clone());
+            scenarios.push(by_name(sel)?);
         }
     }
-    Ok(names)
+    Ok(scenarios)
 }
 
 fn golden_path(dir: &Path, scenario: &str) -> PathBuf {
@@ -392,17 +425,13 @@ fn run_campaign(args: &[String]) -> Result<ExitCode, String> {
     );
     let threads = parse_count(args, "--threads")?;
 
-    let names = campaign_scenarios(&selectors)?;
-    let mut scenarios = Vec::new();
-    for name in &names {
-        let mut s = registry::find(name).ok_or_else(|| {
-            format!("unknown registry scenario {name:?} (see scenario --list)")
-        })?;
-        if let Some(t) = trials {
+    let mut scenarios = campaign_scenarios(&selectors)?;
+    if let Some(t) = trials {
+        for s in &mut scenarios {
             s.trials = t;
         }
-        scenarios.push(s);
     }
+    let names: Vec<String> = scenarios.iter().map(|s| s.name.clone()).collect();
     let mut campaign = Campaign::new(scenarios).map_err(|e| e.to_string())?;
     if let Some(t) = threads {
         campaign = campaign.threads(t);
@@ -569,6 +598,179 @@ fn run_sweep(args: &[String]) -> Result<ExitCode, String> {
 }
 
 // ---------------------------------------------------------------------
+// Search mode
+// ---------------------------------------------------------------------
+
+fn load_search(selector: &str) -> Result<SearchSpec, String> {
+    if let Some(s) = search::find_preset(selector) {
+        return Ok(s);
+    }
+    if selector.ends_with(".json") || Path::new(selector).exists() {
+        let data = std::fs::read_to_string(selector)
+            .map_err(|e| format!("cannot read search file {selector}: {e}"))?;
+        return SearchSpec::from_json(&data).map_err(|e| format!("search file {selector}: {e}"));
+    }
+    Err(format!(
+        "unknown search {selector:?}: not a search preset (see --list) and no such file"
+    ))
+}
+
+fn run_search_mode(args: &[String]) -> Result<ExitCode, String> {
+    let positionals = parse_positionals(
+        args,
+        &[
+            "--budget", "--seed", "--objective", "--strategy", "--trials", "--out", "--top",
+            "--archive", "--threads",
+        ],
+        &[],
+    )?;
+    let selector = match positionals.as_slice() {
+        [one] => one,
+        [] => return Err(usage()),
+        [_, extra, ..] => {
+            return Err(format!("unexpected extra argument {extra:?}\n{}", usage()))
+        }
+    };
+
+    let mut spec = load_search(selector)?;
+    if let Some(b) = parse_count(args, "--budget")? {
+        spec.budget = b;
+    }
+    if let Some(s) = arg_value(args, "--seed") {
+        spec.seed = s
+            .parse()
+            .map_err(|e| format!("--seed {s}: not a u64 ({e})"))?;
+    }
+    if let Some(o) = arg_value(args, "--objective") {
+        spec.objective = Objective::parse(&o).ok_or_else(|| {
+            format!("--objective {o:?}: expected mean-ack, p99-ack, or spec-violations")
+        })?;
+    }
+    if let Some(s) = arg_value(args, "--strategy") {
+        spec.strategy = match s.as_str() {
+            "random" => StrategySpec::Random,
+            // `evolve` keeps the preset's (μ, λ) when it already
+            // evolves; otherwise the default small loop.
+            "evolve" | "evolutionary" => match spec.strategy {
+                StrategySpec::Evolutionary { .. } => spec.strategy,
+                StrategySpec::Random => StrategySpec::Evolutionary { mu: 4, lambda: 8 },
+            },
+            other => return Err(format!("--strategy {other:?}: expected 'random' or 'evolve'")),
+        };
+    }
+    if let Some(t) = parse_count(args, "--trials")? {
+        spec.trials = Some(t);
+    }
+    let top = parse_count(args, "--top")?.unwrap_or(1);
+    let out_dir = PathBuf::from(
+        arg_value(args, "--out").unwrap_or_else(|| "scenarios/found".to_string()),
+    );
+    let threads = parse_count(args, "--threads")?;
+
+    spec.validate().map_err(|e| e.to_string())?;
+    let trials = spec.trials.unwrap_or(spec.base.trials);
+    eprintln!(
+        "== search {}: {} strategy, objective {}, budget {} × {} trial(s), seed {} ==",
+        spec.name,
+        spec.strategy.name(),
+        spec.objective.name(),
+        spec.budget,
+        trials,
+        spec.seed,
+    );
+    if !spec.description.is_empty() {
+        eprintln!("   {}", spec.description);
+    }
+    let start = std::time::Instant::now();
+    let archive = run_search(&spec, threads).map_err(|e| e.to_string())?;
+    eprintln!("   ({} candidate(s), {:.1?})", archive.entries.len(), start.elapsed());
+
+    // Ranking table: the top candidates, best first.
+    println!("| rank | candidate | {} | mean ack | p99 ack | spec viol | acks |", spec.objective.name());
+    println!("|---:|---|---:|---:|---:|---:|---:|");
+    for (rank, &i) in archive.ranking.iter().take(top.max(5)).enumerate() {
+        let e = &archive.entries[i];
+        println!(
+            "| {} | c{:04} | {:.2} | {:.2} | {:.2} | {:.2} | {}/{} |",
+            rank + 1,
+            e.index,
+            e.score,
+            e.metrics.mean_ack,
+            e.metrics.p99_ack,
+            e.metrics.spec_violation_rate,
+            e.metrics.ack_trials,
+            e.metrics.trials,
+        );
+    }
+
+    if let Some(path) = arg_value(args, "--archive") {
+        if let Some(parent) = Path::new(&path).parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(&path, archive.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote search archive to {path}");
+    }
+
+    // Emit the top candidates as standalone, blessable scenario files.
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    for &i in archive.ranking.iter().take(top) {
+        let found = found_scenario(&spec, &archive.entries[i]);
+        let path = out_dir.join(format!("{}.json", found.name));
+        std::fs::write(&path, found.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("emitted {}", path.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------
+// Validate mode
+// ---------------------------------------------------------------------
+
+/// Validates each scenario file end to end — parse, field validation,
+/// and region/fault resolution against the concrete topology (the
+/// checks `ScenarioRunner::new` runs) — printing one line per file.
+fn run_validate(args: &[String]) -> Result<ExitCode, String> {
+    let paths = parse_positionals(args, &[], &[])?;
+    if paths.is_empty() {
+        return Err(format!("validate takes at least one file\n{}", usage()));
+    }
+    let mut failures = 0usize;
+    for path in &paths {
+        let verdict = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|data| Scenario::from_json(&data).map_err(|e| e.to_string()))
+            // from_json validated fields; building the runner also
+            // resolves regions and fault windows on the topology.
+            .and_then(|s| ScenarioRunner::new(s).map_err(|e| e.to_string()));
+        match verdict {
+            Ok(runner) => {
+                let s = runner.scenario();
+                println!(
+                    "{path}: ok — {} (n = {}, {} trial(s))",
+                    s.name,
+                    runner.topology().graph.len(),
+                    s.trials
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{path}: INVALID — {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} of {} file(s) invalid", paths.len());
+        return Ok(ExitCode::from(1));
+    }
+    eprintln!("all {} file(s) valid", paths.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------
 // Journal validation mode
 // ---------------------------------------------------------------------
 
@@ -626,10 +828,23 @@ fn run() -> Result<ExitCode, String> {
                     s.description
                 );
             }
+            println!("registered searches:");
+            for s in search::presets() {
+                println!(
+                    "  {:<16} [{} strategy, budget {}, seed {}] {}",
+                    s.name,
+                    s.strategy.name(),
+                    s.budget,
+                    s.seed,
+                    s.description
+                );
+            }
             Ok(ExitCode::SUCCESS)
         }
         Some("campaign") => run_campaign(&args[1..]),
         Some("sweep") => run_sweep(&args[1..]),
+        Some("search") => run_search_mode(&args[1..]),
+        Some("validate") => run_validate(&args[1..]),
         Some("journal") => run_journal(&args[1..]),
         _ => run_single(&args),
     }

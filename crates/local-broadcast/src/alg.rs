@@ -375,6 +375,19 @@ impl Process for LbProcess {
     fn take_outputs(&mut self) -> Vec<LbOutput> {
         std::mem::take(&mut self.outputs)
     }
+
+    fn on_crash_restart(&mut self, _ctx: &mut Context<'_>) {
+        // Volatile memory is lost: the pending message, the adopted
+        // phase seed, the embedded preamble instance, the reception
+        // dedup set, and all phase-position bookkeeping. Only the
+        // static configuration survives the power cycle; parameters
+        // re-resolve from the engine context at the next callback, as
+        // on first boot. Losing `received_keys` means a re-delivered
+        // message may surface as a duplicate `recv` — a real symptom
+        // of crash-restart the duplicate-suppression analysis assumes
+        // away, now measurable.
+        *self = LbProcess::new(self.cfg.clone());
+    }
 }
 
 #[cfg(test)]

@@ -296,7 +296,14 @@ impl<P: Process, T: Transport<P::Msg>> Cluster<P, T> {
                             r: self.r,
                             rng: &mut node.rng,
                         };
-                        node.proc.on_restart(ctx);
+                        // Same dispatch as the engine's step 0, so a
+                        // cluster execution stays byte-identical to the
+                        // simulator's under every crash mode.
+                        if self.faults.restart_recovery(NodeId(v), round) {
+                            node.proc.on_crash_restart(ctx);
+                        } else {
+                            node.proc.on_restart(ctx);
+                        }
                     }
                 }
                 if self.jammed[v] != self.jam_prev[v] {

@@ -338,7 +338,11 @@ impl<P: Process> Engine<P> {
                             r: self.r,
                             rng: &mut self.rngs[v],
                         };
-                        self.procs[v].on_restart(ctx);
+                        if self.faults.restart_recovery(NodeId(v), round) {
+                            self.procs[v].on_crash_restart(ctx);
+                        } else {
+                            self.procs[v].on_restart(ctx);
+                        }
                     }
                 }
                 if self.jammed[v] != self.jam_prev[v] {

@@ -19,9 +19,13 @@
 //!   that waits for the node's outputs before sending more, like an
 //!   ack-gated broadcast queue, will therefore stall for that node, just
 //!   as a real client whose request died with the device. On recovery
-//!   the engine calls
-//!   [`Process::on_restart`](crate::process::Process::on_restart) (state
-//!   intact by default — a duty-cycle/power-save churn model).
+//!   the engine fires a hook whose choice depends on the crash's
+//!   [`restart`](Crash::restart) mode: power-save churn (the default)
+//!   calls [`Process::on_restart`](crate::process::Process::on_restart)
+//!   (state intact by default — a duty-cycle model), while crash-restart
+//!   calls
+//!   [`Process::on_crash_restart`](crate::process::Process::on_crash_restart),
+//!   which algorithms with volatile memory override to reset themselves.
 //! * **Jam** — during rounds `[from, to]` every *listed* node hears noise:
 //!   while listening it receives `⊥` regardless of how many neighbors
 //!   transmit. Its own transmissions are unaffected (receivers outside
@@ -49,6 +53,16 @@ pub struct Crash {
     pub down_from: u64,
     /// First round the node is back up; `None` means it never recovers.
     pub up_at: Option<u64>,
+    /// Recovery semantics: `false` (the default, and the value assumed
+    /// by plans serialized before this field existed) models power-save
+    /// churn — the process keeps its state across the outage. `true`
+    /// models a true crash-restart: on recovery the engine calls
+    /// [`Process::on_crash_restart`](crate::process::Process::on_crash_restart)
+    /// instead of
+    /// [`Process::on_restart`](crate::process::Process::on_restart), and
+    /// the process loses its volatile memory.
+    #[serde(default)]
+    pub restart: bool,
 }
 
 impl Crash {
@@ -153,12 +167,26 @@ impl FaultPlan {
         self.crashes.is_empty() && self.jams.is_empty() && self.drops.is_empty()
     }
 
-    /// Adds a crash (builder style).
+    /// Adds a power-save crash (builder style): the process keeps its
+    /// state across the outage.
     pub fn with_crash(mut self, node: NodeId, down_from: u64, up_at: Option<u64>) -> Self {
         self.crashes.push(Crash {
             node,
             down_from,
             up_at,
+            restart: false,
+        });
+        self
+    }
+
+    /// Adds a crash-restart (builder style): on recovery the process
+    /// loses its volatile memory (see [`Crash::restart`]).
+    pub fn with_crash_restart(mut self, node: NodeId, down_from: u64, up_at: Option<u64>) -> Self {
+        self.crashes.push(Crash {
+            node,
+            down_from,
+            up_at,
+            restart: true,
         });
         self
     }
@@ -253,6 +281,32 @@ impl FaultPlan {
     pub fn active_drops(&self, round: u64) -> impl Iterator<Item = &DropBurst> {
         self.drops.iter().filter(move |d| d.covers(round))
     }
+
+    /// Whether a recovery of `node` in `round` has crash-restart
+    /// semantics: true iff any restart-mode crash of that node covered
+    /// any round of the contiguous outage ending at `round - 1`. When
+    /// power-save and restart windows overlap in one outage, a single
+    /// restart window suffices — the volatile memory was lost at some
+    /// point while down, so the recovered process cannot have kept it.
+    /// Only called at down→up transitions, so the outage walk costs
+    /// O(outage length × crashes) per recovery event, not per round.
+    pub fn restart_recovery(&self, node: NodeId, round: u64) -> bool {
+        let down_at =
+            |r: u64| self.crashes.iter().any(|c| c.node == node && c.is_down(r));
+        let restart_at = |r: u64| {
+            self.crashes
+                .iter()
+                .any(|c| c.restart && c.node == node && c.is_down(r))
+        };
+        let mut r = round;
+        while r > 0 && down_at(r - 1) {
+            if restart_at(r - 1) {
+                return true;
+            }
+            r -= 1;
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +325,7 @@ mod tests {
             node: NodeId(1),
             down_from: 3,
             up_at: Some(6),
+            restart: false,
         };
         assert!(!c.is_down(2));
         assert!(c.is_down(3));
@@ -284,6 +339,7 @@ mod tests {
             node: NodeId(0),
             down_from: 2,
             up_at: None,
+            restart: false,
         };
         assert!(c.is_down(1_000_000));
     }
@@ -337,10 +393,44 @@ mod tests {
     fn serde_roundtrip() {
         let plan = FaultPlan::none()
             .with_crash(NodeId(2), 5, Some(9))
+            .with_crash_restart(NodeId(1), 2, Some(4))
             .with_jam(vec![NodeId(0)], 1, 4)
             .with_drop_burst(3, 7, 0.25);
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn crash_without_restart_field_parses_as_power_save() {
+        // Plans serialized before the restart mode existed must keep
+        // their power-save semantics.
+        let c: Crash =
+            serde_json::from_str(r#"{"node":2,"down_from":5,"up_at":9}"#).unwrap();
+        assert!(!c.restart);
+        assert_eq!(c.node, NodeId(2));
+    }
+
+    #[test]
+    fn restart_recovery_reflects_crash_mode() {
+        let plan = FaultPlan::none()
+            .with_crash(NodeId(0), 2, Some(4))
+            .with_crash_restart(NodeId(1), 2, Some(4));
+        // Node 0's outage is power-save, node 1's is a crash-restart.
+        assert!(!plan.restart_recovery(NodeId(0), 4));
+        assert!(plan.restart_recovery(NodeId(1), 4));
+        // Rounds where the node was not down just before don't count.
+        assert!(!plan.restart_recovery(NodeId(1), 2));
+        assert!(!plan.restart_recovery(NodeId(1), 6));
+    }
+
+    #[test]
+    fn overlapping_restart_window_makes_recovery_a_restart() {
+        // One outage covered by a power-save window and a restart
+        // window: the recovered process cannot have kept its memory.
+        let plan = FaultPlan::none()
+            .with_crash(NodeId(0), 2, Some(8))
+            .with_crash_restart(NodeId(0), 3, Some(5));
+        assert!(plan.restart_recovery(NodeId(0), 8));
     }
 }

@@ -81,12 +81,23 @@ pub trait Process: Send {
         true
     }
 
-    /// Called when the node comes back up after a fault-plan crash
-    /// (see [`crate::fault::FaultPlan`]), before any other callback of
-    /// the recovery round. The default keeps all state — a duty-cycle /
-    /// power-save churn model; algorithms that model crash-restart with
-    /// volatile memory override this to reset themselves.
+    /// Called when the node comes back up after a power-save fault-plan
+    /// crash (see [`crate::fault::FaultPlan`]), before any other
+    /// callback of the recovery round. The default keeps all state — a
+    /// duty-cycle / power-save churn model.
     fn on_restart(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called instead of [`Process::on_restart`] when the node comes
+    /// back up from a **crash-restart** — a crash whose
+    /// [`restart`](crate::fault::Crash::restart) flag is set. Algorithms
+    /// that model volatile memory override this to reset themselves to
+    /// their just-booted state (keeping only what would survive a power
+    /// cycle: code and configuration). The default delegates to
+    /// [`Process::on_restart`], so processes without a volatile-memory
+    /// model behave identically under both recovery semantics.
+    fn on_crash_restart(&mut self, ctx: &mut Context<'_>) {
+        self.on_restart(ctx);
+    }
 }
 
 #[cfg(test)]

@@ -34,6 +34,13 @@
 //!   per-axis curve tables (markdown + CSV). The sweep registry
 //!   ([`sweep::sweeps`]) carries the churn-knee and loss-grid curve
 //!   families.
+//! * [`search`] — the adversary search engine: a
+//!   [`SearchSpec`](search::SearchSpec) describes a budgeted,
+//!   seed-deterministic exploration of the adversary × fault space
+//!   (random or (μ+λ) evolutionary) maximizing an ack-latency or
+//!   spec-violation [`Objective`](search::Objective); worst cases land
+//!   in a [`SearchArchive`](search::SearchArchive) and are re-emitted
+//!   as blessable scenario files (`scenarios/found/`).
 //!
 //! Scenarios serialize to JSON (`Scenario::to_json` /
 //! `Scenario::from_json`); the `scenario` binary in the `bench` crate
@@ -68,12 +75,16 @@ pub mod campaign;
 pub mod obs;
 pub mod registry;
 pub mod runner;
+pub mod search;
 pub mod spec;
 pub mod sweep;
 
 pub use campaign::{Campaign, CampaignReport, CheckReport, GoldenMetric, GoldenMetrics};
 pub use obs::{RunTelemetry, ScenarioTelemetry};
 pub use runner::{ScenarioReport, ScenarioRunner, TrialOutcome};
+pub use search::{
+    run_search, ArchiveEntry, CandidateMetrics, Objective, SearchArchive, SearchSpec, StrategySpec,
+};
 pub use spec::{
     AdversarySpec, FaultPlanSpec, PartitionSpec, RegionSpec, Scenario, ScenarioBuilder,
     ScenarioError, StopSpec, TopologySpec, TransportSpec, WorkloadSpec,
@@ -87,6 +98,10 @@ pub mod prelude {
     };
     pub use crate::registry;
     pub use crate::runner::{ScenarioReport, ScenarioRunner, TrialOutcome};
+    pub use crate::search::{
+        self, run_search, ArchiveEntry, Candidate, CandidateMetrics, Objective, SearchArchive,
+        SearchSpec, SearchStrategy, SpaceSpec, StrategySpec,
+    };
     pub use crate::spec::{
         AdversarySpec, CrashSpec, DropSpec, FaultPlanSpec, JamSpec, PartitionSpec, RegionSpec,
         Scenario, ScenarioBuilder, ScenarioError, StopSpec, TopologySpec, TransportSpec,

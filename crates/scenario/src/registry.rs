@@ -271,6 +271,30 @@ pub fn all() -> Vec<Scenario> {
         ),
         build(
             ScenarioBuilder::new(
+                "churn-restart",
+                TopologySpec::Grid {
+                    rows: 4,
+                    cols: 4,
+                    spacing: 0.9,
+                    r: 2.0,
+                },
+                lb_workload(0.25, vec![0, 5], 1_000),
+            )
+            .description(
+                "churn-restart: the churn scenario under true crash-restart \
+                 semantics — node 10's recovery wipes its volatile state (fresh \
+                 phase bookkeeping, lost reception-dedup memory) instead of \
+                 resuming mid-phase where power-save churn left off",
+            )
+            .adversary(AdversarySpec::Bernoulli { p: 0.5 })
+            .crash_restart(10, 40, Some(120))
+            .crash(3, 200, None)
+            .stop(StopSpec::Phases { phases: 6 })
+            .trials(4)
+            .base_seed(70_000),
+        ),
+        build(
+            ScenarioBuilder::new(
                 "jamming-window",
                 TopologySpec::Grid {
                     rows: 4,

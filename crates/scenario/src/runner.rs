@@ -291,7 +291,7 @@ impl ScenarioRunner {
     pub fn new(scenario: Scenario) -> Result<Self, ScenarioError> {
         scenario.validate()?;
         let topo = scenario.topology.build();
-        let faults = scenario.faults.resolve(&topo);
+        let faults = scenario.faults.resolve(&topo)?;
         let graph = Arc::new(topo.graph.clone());
         Ok(ScenarioRunner {
             scenario,

@@ -564,6 +564,14 @@ pub struct CrashSpec {
     pub down_from: u64,
     /// First round it is back up; `None` = never.
     pub up_at: Option<u64>,
+    /// Recovery semantics: `false` (the default, so scenario files
+    /// written before this field existed keep their behavior) is
+    /// power-save churn — the process state survives the outage.
+    /// `true` is a true crash-restart: the process loses its volatile
+    /// memory on recovery (see
+    /// [`radio_sim::fault::Crash::restart`]).
+    #[serde(default)]
+    pub restart: bool,
 }
 
 /// A jamming window over a region.
@@ -607,18 +615,39 @@ impl FaultPlanSpec {
     }
 
     /// Resolves regions and converts into the engine's fault plan.
-    pub fn resolve(&self, topo: &Topology) -> FaultPlan {
+    ///
+    /// # Errors
+    ///
+    /// Rejects a jam window whose region resolves to **no vertices** of
+    /// the built topology (e.g. a disc whose finite center lies outside
+    /// the arena): such a window would silently no-op at runtime while
+    /// the scenario claims to jam. Structural errors (out-of-range
+    /// vertices, malformed windows) are caught earlier by
+    /// [`Scenario::validate`].
+    pub fn resolve(&self, topo: &Topology) -> Result<FaultPlan, ScenarioError> {
         let mut plan = FaultPlan::none();
         for c in &self.crashes {
-            plan = plan.with_crash(NodeId(c.node), c.down_from, c.up_at);
+            plan = if c.restart {
+                plan.with_crash_restart(NodeId(c.node), c.down_from, c.up_at)
+            } else {
+                plan.with_crash(NodeId(c.node), c.down_from, c.up_at)
+            };
         }
         for j in &self.jams {
-            plan = plan.with_jam(j.region.resolve(topo), j.from, j.to);
+            let nodes = j.region.resolve(topo);
+            if nodes.is_empty() {
+                return Err(invalid(format!(
+                    "faults: jam window [{}, {}] resolves to no vertices \
+                     (region {:?} misses the topology entirely)",
+                    j.from, j.to, j.region
+                )));
+            }
+            plan = plan.with_jam(nodes, j.from, j.to);
         }
         for d in &self.drops {
             plan = plan.with_drop_burst(d.from, d.to, d.p);
         }
-        plan
+        Ok(plan)
     }
 
     /// Structural validation against a vertex count, mirroring the
@@ -646,6 +675,15 @@ impl FaultPlanSpec {
         for j in &self.jams {
             match &j.region {
                 RegionSpec::Nodes { nodes } => {
+                    // An empty explicit list would pass every per-vertex
+                    // check yet jam nothing — the same silent-no-op
+                    // failure mode as an out-of-arena disc.
+                    if nodes.is_empty() {
+                        return Err(invalid(
+                            "faults: jam region lists no vertices (the window would \
+                             silently jam nothing)",
+                        ));
+                    }
                     if let Some(v) = nodes.iter().find(|&&v| v >= n) {
                         return Err(invalid(format!(
                             "faults: jam references vertex {v} but the graph has {n} vertices"
@@ -1192,12 +1230,26 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Adds a crash/recover event.
+    /// Adds a power-save crash/recover event (state kept across the
+    /// outage).
     pub fn crash(mut self, node: usize, down_from: u64, up_at: Option<u64>) -> Self {
         self.scenario.faults.crashes.push(CrashSpec {
             node,
             down_from,
             up_at,
+            restart: false,
+        });
+        self
+    }
+
+    /// Adds a crash-restart event: the process loses its volatile
+    /// memory on recovery (see [`CrashSpec::restart`]).
+    pub fn crash_restart(mut self, node: usize, down_from: u64, up_at: Option<u64>) -> Self {
+        self.scenario.faults.crashes.push(CrashSpec {
+            node,
+            down_from,
+            up_at,
+            restart: true,
         });
         self
     }

@@ -158,6 +158,12 @@ pub enum OverrideSpec {
         start: u64,
         /// Last round a down window may start at.
         until: u64,
+        /// Recovery semantics of every generated window: `false` (the
+        /// default) is power-save churn, `true` a volatile-memory
+        /// crash-restart (see [`CrashSpec::restart`]) — so a sweep can
+        /// put the two recovery models side by side as axis points.
+        #[serde(default)]
+        restart: bool,
     },
 }
 
@@ -230,6 +236,7 @@ impl OverrideSpec {
                 down,
                 start,
                 until,
+                restart,
             } => {
                 if *period == 0 || *period > MAX_STOP_ROUNDS {
                     return Err(invalid(format!(
@@ -265,6 +272,7 @@ impl OverrideSpec {
                                 node,
                                 down_from: t,
                                 up_at: Some(t + down),
+                                restart: *restart,
                             });
                             t += period;
                         }
@@ -935,6 +943,7 @@ fn churn_knee() -> SweepSpec {
         down,
         start: 40,
         until: 4_536,
+        restart: false,
     };
     let point = |label: &str, set: Vec<OverrideSpec>| SweepPoint {
         label: label.into(),
@@ -1272,6 +1281,7 @@ mod tests {
             down: 10,
             start: 5,
             until: 120,
+            restart: false,
         }
         .apply(&mut s)
         .unwrap();
@@ -1299,6 +1309,7 @@ mod tests {
             down: 0,
             start: 5,
             until: 120,
+            restart: false,
         }
         .apply(&mut s)
         .unwrap();
@@ -1316,6 +1327,7 @@ mod tests {
             down: 10,
             start: 500,
             until: 100,
+            restart: false,
         }
         .apply(&mut s)
         .unwrap_err();

@@ -1,0 +1,218 @@
+//! Search-engine acceptance tests: seed determinism across thread
+//! counts, the pinned `lb-worst` preset beating every hand-written
+//! golden, the checked-in found corpus matching a re-run, and a fuzz
+//! net over the raw sampled space.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use scenario::prelude::*;
+use scenario::search::found_scenario;
+use scenario::GoldenMetrics;
+use std::path::PathBuf;
+
+fn repo_dir(sub: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(sub)
+}
+
+/// A fast search spec: 4-node clique, short horizon, tiny budget.
+fn small_spec(strategy: StrategySpec, budget: usize) -> SearchSpec {
+    let base = ScenarioBuilder::new(
+        "small",
+        TopologySpec::Clique { n: 4, r: 1.0 },
+        WorkloadSpec::LocalBroadcast {
+            epsilon1: 0.25,
+            senders: vec![0],
+            messages_per_sender: 1,
+        },
+    )
+    .stop(StopSpec::Rounds { rounds: 300 })
+    .trials(2)
+    .base_seed(1234)
+    .build()
+    .unwrap();
+    let mut space = SpaceSpec::for_horizon(300);
+    space.max_jam_nodes = 4;
+    SearchSpec {
+        name: "small".into(),
+        description: String::new(),
+        base,
+        objective: Objective::MeanAckLatency,
+        strategy,
+        budget,
+        seed: 99,
+        trials: None,
+        space,
+    }
+}
+
+/// Same seed and budget ⇒ byte-identical archive JSON and the same
+/// winner, at every worker-pool width. This is the determinism
+/// contract `--threads` advertises.
+#[test]
+fn archive_is_byte_identical_across_thread_counts() {
+    for strategy in [
+        StrategySpec::Random,
+        StrategySpec::Evolutionary { mu: 2, lambda: 3 },
+    ] {
+        let spec = small_spec(strategy, 8);
+        let archives: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| run_search(&spec, Some(t)).unwrap())
+            .collect();
+        let reference = archives[0].to_json();
+        for (archive, threads) in archives.iter().zip([1, 2, 8]) {
+            assert_eq!(
+                archive.to_json(),
+                reference,
+                "{} archive diverged at {threads} thread(s)",
+                spec.strategy.name()
+            );
+        }
+        assert_eq!(archives[0].winner(), archives[1].winner());
+        assert_eq!(archives[0].winner(), archives[2].winner());
+    }
+}
+
+/// The pinned preset reproducibly finds a candidate whose (censored)
+/// mean ack latency exceeds the worst blessed ack mean of every
+/// hand-written registry scenario — the search engine automates past
+/// the hand-written fault corpus.
+#[test]
+fn lb_worst_preset_beats_every_handwritten_golden() {
+    let spec = scenario::search::find_preset("lb-worst").expect("preset registered");
+    let archive = run_search(&spec, None).unwrap();
+
+    let golden_dir = repo_dir("scenarios/golden");
+    let mut worst: Option<(String, f64)> = None;
+    for entry in std::fs::read_dir(&golden_dir).expect("scenarios/golden is checked in") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let name = path.file_stem().unwrap().to_string_lossy().to_string();
+        if name.starts_with("found-") {
+            continue; // compare against *hand-written* scenarios only
+        }
+        let g = GoldenMetrics::from_json(&std::fs::read_to_string(&path).unwrap())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        if let Some(m) = g.ack_latency {
+            if worst.as_ref().is_none_or(|(_, w)| m.mean > *w) {
+                worst = Some((name, m.mean));
+            }
+        }
+    }
+    let (worst_name, worst_mean) = worst.expect("some golden pins an ack latency");
+    let winner = archive.winner();
+    assert!(
+        winner.score > worst_mean,
+        "search winner ({:.1}) must beat the worst hand-written golden \
+         {worst_name} ({worst_mean:.1})",
+        winner.score
+    );
+}
+
+/// The checked-in found corpus is exactly what the pinned preset
+/// emits: re-running the search reproduces `scenarios/found/` byte
+/// for byte, so the corpus files carry verifiable provenance.
+#[test]
+fn checked_in_found_corpus_matches_a_rerun() {
+    let spec = scenario::search::find_preset("lb-worst").unwrap();
+    let archive = run_search(&spec, Some(3)).unwrap();
+
+    let archive_path = repo_dir("scenarios/found/lb-worst.archive.json");
+    let checked_in = std::fs::read_to_string(&archive_path)
+        .expect("scenarios/found/lb-worst.archive.json is checked in");
+    assert_eq!(
+        archive.to_json(),
+        checked_in,
+        "checked-in archive diverged; regenerate with `cargo run --release -p bench \
+         --bin scenario -- search lb-worst --archive scenarios/found/lb-worst.archive.json`"
+    );
+
+    let winner = found_scenario(&spec, archive.winner());
+    let winner_path = repo_dir(&format!("scenarios/found/{}.json", winner.name));
+    let on_disk = std::fs::read_to_string(&winner_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", winner_path.display()));
+    assert_eq!(winner.to_json(), on_disk, "checked-in winner diverged");
+    // And the corpus file round-trips through the ordinary loader.
+    assert_eq!(Scenario::from_json(&on_disk).unwrap(), winner);
+}
+
+/// Every found scenario in the corpus has a blessed golden, so the
+/// campaign gate covers the discovered worst cases.
+#[test]
+fn every_found_scenario_has_a_blessed_golden() {
+    let found_dir = repo_dir("scenarios/found");
+    for entry in std::fs::read_dir(&found_dir).expect("scenarios/found is checked in") {
+        let path = entry.unwrap().path();
+        let name = path.file_stem().unwrap().to_string_lossy().to_string();
+        if !name.starts_with("found-") {
+            continue; // the archive artifact
+        }
+        let golden = repo_dir(&format!("scenarios/golden/{name}.json"));
+        assert!(
+            golden.exists(),
+            "{name} has no golden; bless with `scenario campaign {} --bless`",
+            path.display()
+        );
+        let g = GoldenMetrics::from_json(&std::fs::read_to_string(&golden).unwrap()).unwrap();
+        assert_eq!(g.scenario, name);
+    }
+}
+
+/// Crash-restart semantics are observable end to end: the found
+/// worst case crash-restarts the sender mid-broadcast (volatile state
+/// wiped, the pending message lost, no ack ever); the *same* fault
+/// windows in power-save mode keep the sender's state across the
+/// outage and the ack lands. With the flag off, behavior is the
+/// pre-existing power-save churn — which is exactly what the
+/// unblessed hand-written goldens keep gating.
+#[test]
+fn crash_restart_differs_from_power_save_on_the_found_worst_case() {
+    let path = repo_dir("scenarios/found/found-lb-worst-c0007.json");
+    let restart = Scenario::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert!(restart.faults.crashes.iter().any(|c| c.restart));
+
+    let mut power_save = restart.clone();
+    for c in &mut power_save.faults.crashes {
+        c.restart = false;
+    }
+
+    let with_restart = ScenarioRunner::new(restart).unwrap().run();
+    let without = ScenarioRunner::new(power_save).unwrap().run();
+    for o in &with_restart.outcomes {
+        assert_eq!(o.first_ack, None, "restarting the sender must suppress the ack");
+    }
+    for o in &without.outcomes {
+        assert!(
+            o.first_ack.is_some(),
+            "power-save keeps the pending broadcast across the outage"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fuzz the runner through the sampler: any candidate drawn from a
+    /// validated space builds a scenario that runs panic-free with
+    /// finite censored metrics, faults and all.
+    #[test]
+    fn sampled_candidates_run_panic_free(draw_seed in 0u64..1_000_000) {
+        let spec = small_spec(StrategySpec::Random, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(draw_seed);
+        let candidate = spec.space.sample(4, &mut rng);
+        let scenario = candidate.apply(&spec, 0);
+        let report = ScenarioRunner::new(scenario).unwrap().run();
+        prop_assert_eq!(report.outcomes.len(), 2);
+        let metrics = CandidateMetrics::of(&report.outcomes);
+        prop_assert!(metrics.mean_ack.is_finite());
+        prop_assert!(metrics.p99_ack.is_finite());
+        prop_assert!((0.0..=1.0).contains(&metrics.spec_violation_rate));
+        for o in &report.outcomes {
+            prop_assert!(o.rounds > 0);
+            prop_assert!(o.first_ack.is_none_or(|a| a <= o.rounds));
+        }
+    }
+}

@@ -60,6 +60,7 @@ fn assemble(seed: u64, axis_count: usize, sizes: (usize, usize, usize), sel: usi
                 down: 2 + point as u64,
                 start: 3,
                 until: 40,
+                restart: point % 2 == 1,
             }],
             _ => vec![], // the base itself
         }

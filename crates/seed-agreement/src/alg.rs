@@ -263,6 +263,19 @@ impl Process for SeedProcess {
     fn take_outputs(&mut self) -> Vec<Decide> {
         std::mem::take(&mut self.outputs)
     }
+
+    fn on_crash_restart(&mut self, _ctx: &mut Context<'_>) {
+        // Volatile memory is lost: status, local round counter, the
+        // drawn initial seed, any committed decision, and the phase
+        // history. Only the static configuration survives; the process
+        // re-initializes (drawing a fresh seed from its stream) at its
+        // next callback, exactly as on first boot. A node that already
+        // emitted `decide` may therefore decide again after the
+        // restart — the well-formedness spec treats that as the
+        // violation it is, which is precisely what makes crash-restart
+        // a strictly harsher fault model than power-save churn.
+        *self = SeedProcess::new(self.cfg.clone());
+    }
 }
 
 #[cfg(test)]
