@@ -21,6 +21,7 @@
 //! scenario sweep <name | sweep.json>
 //!          [--out PATH]          # sweep markdown report (grid + curve pivots)
 //!          [--csv PATH]          # long-format grid table as CSV
+//!          [--plot]              # ASCII line charts of the curve pivots
 //!          [--export PATH]       # write the sweep spec itself as JSON
 //!          [--golden DIR]        # per-point golden dir (default scenarios/golden)
 //!          [--check]             # golden-gate the pinned points; exit 1 on drift
@@ -87,7 +88,7 @@ fn usage() -> String {
      [--transport sim|mock-net] [--save-trace PATH] [--export PATH] [--telemetry PATH]\n       \
      scenario campaign [name | set.json | scenario.json ...] [--out PATH] [--golden DIR] \
      [--check | --bless] [--telemetry PATH] [--trials N] [--threads N] [--shards N]\n       \
-     scenario sweep <name | sweep.json> [--out PATH] [--csv PATH] \
+     scenario sweep <name | sweep.json> [--out PATH] [--csv PATH] [--plot] \
      [--export PATH] [--golden DIR] [--check | --bless] [--telemetry PATH] \
      [--trials N] [--threads N] [--shards N]\n       \
      scenario search <preset | search.json> [--budget N] [--seed S] \
@@ -497,7 +498,7 @@ fn run_sweep(args: &[String]) -> Result<ExitCode, String> {
             "--trials", "--threads", "--shards", "--golden", "--out", "--csv", "--export",
             "--telemetry",
         ],
-        &["--check", "--bless"],
+        &["--check", "--bless", "--plot"],
     )?;
     let selector = match positionals.as_slice() {
         [one] => one,
@@ -574,6 +575,9 @@ fn run_sweep(args: &[String]) -> Result<ExitCode, String> {
     println!("{}", sweep_report.long_table());
     for t in sweep_report.curve_tables() {
         println!("{t}");
+    }
+    if args.iter().any(|a| a == "--plot") {
+        println!("{}", sweep_report.ascii_charts());
     }
     if let Some(path) = arg_value(args, "--out") {
         // Footer at write time only, as in campaign mode.

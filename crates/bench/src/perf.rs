@@ -65,6 +65,30 @@ pub struct TransportCase {
     pub delivery_latency_rounds: f64,
 }
 
+/// One dynamic-geometry measurement: the registry `mobility` scenario
+/// re-aimed at a given epoch length, reporting the geometry-rebuild
+/// overhead (summed from the runner's per-epoch rebuild clock) next to
+/// the trial throughput it buys.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MobilityCase {
+    /// Case name (`mobility-epoch-<rounds>`).
+    pub case: String,
+    /// Vertex count of the moving deployment.
+    pub nodes: usize,
+    /// Rounds the measured trial executed.
+    pub rounds: u64,
+    /// Epochs the timeline compiled to.
+    pub epochs: usize,
+    /// Total wall-clock milliseconds spent rebuilding RGG adjacency
+    /// across all epochs (entry 0, the static deployment build,
+    /// included).
+    pub rebuild_ms: f64,
+    /// Wall-clock seconds for the measured trial.
+    pub elapsed_s: f64,
+    /// `rounds / elapsed_s`.
+    pub rounds_per_sec: f64,
+}
+
 /// The campaign fan-out measurement: repeated runs of the pinned
 /// scenario subset on the default worker pool.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -100,6 +124,12 @@ pub struct BenchReport {
     /// reports written before the section existed.
     #[serde(default)]
     pub transport: Vec<TransportCase>,
+    /// The mobility section: the registry mobility scenario across
+    /// epoch lengths, tracking how much wall-clock the per-epoch RGG
+    /// rebuilds cost (see docs/mobility.md). Empty in reports written
+    /// before the section existed.
+    #[serde(default)]
+    pub mobility: Vec<MobilityCase>,
     /// Campaign fan-out measurement.
     pub campaign: CampaignPerf,
 }
@@ -189,6 +219,36 @@ impl BenchReport {
                 ));
             }
         }
+        // `mobility` may be empty (pre-mobility reports); present cases
+        // carry a sane timeline shape and finite measurements.
+        for c in &self.mobility {
+            if c.case.is_empty() {
+                return Err("mobility case: empty name".into());
+            }
+            if c.nodes == 0 || c.rounds == 0 || c.epochs == 0 {
+                return Err(format!(
+                    "mobility case {}: zero nodes, rounds, or epochs",
+                    c.case
+                ));
+            }
+            for (field, v) in [
+                ("elapsed_s", c.elapsed_s),
+                ("rounds_per_sec", c.rounds_per_sec),
+            ] {
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!(
+                        "mobility case {}: {field} must be finite and positive, got {v}",
+                        c.case
+                    ));
+                }
+            }
+            if !c.rebuild_ms.is_finite() || c.rebuild_ms < 0.0 {
+                return Err(format!(
+                    "mobility case {}: rebuild_ms must be finite and >= 0, got {}",
+                    c.case, c.rebuild_ms
+                ));
+            }
+        }
         let c = &self.campaign;
         if c.scenarios.is_empty() {
             return Err("campaign: needs at least one scenario".into());
@@ -231,6 +291,15 @@ impl BenchReport {
                 out.push_str(&format!(
                     "  {:<28} n = {:>5}  {:>10.0} msgs/s  {:>6.2} rounds/hop\n",
                     c.case, c.nodes, c.messages_per_sec, c.delivery_latency_rounds
+                ));
+            }
+        }
+        if !self.mobility.is_empty() {
+            out.push_str("mobility (per-epoch RGG rebuilds):\n");
+            for c in &self.mobility {
+                out.push_str(&format!(
+                    "  {:<28} n = {:>5}  {:>3} epoch(s)  {:>8.2} ms rebuild  {:>10.0} rounds/s\n",
+                    c.case, c.nodes, c.epochs, c.rebuild_ms, c.rounds_per_sec
                 ));
             }
         }
@@ -334,6 +403,7 @@ pub fn compare(old: &BenchReport, new: &BenchReport, threshold: f64) -> CompareR
         .chain(&old.scale)
         .map(|c| (c.case.as_str(), c.node_rounds_per_sec))
         .chain(old.transport.iter().map(|c| (c.case.as_str(), c.messages_per_sec)))
+        .chain(old.mobility.iter().map(|c| (c.case.as_str(), c.rounds_per_sec)))
         .collect();
     let new_cases: Vec<(&str, f64)> = new
         .engine
@@ -341,6 +411,7 @@ pub fn compare(old: &BenchReport, new: &BenchReport, threshold: f64) -> CompareR
         .chain(&new.scale)
         .map(|c| (c.case.as_str(), c.node_rounds_per_sec))
         .chain(new.transport.iter().map(|c| (c.case.as_str(), c.messages_per_sec)))
+        .chain(new.mobility.iter().map(|c| (c.case.as_str(), c.rounds_per_sec)))
         .collect();
     for &(name, old_v) in &old_cases {
         match new_cases.iter().find(|(n, _)| *n == name) {
@@ -588,6 +659,49 @@ pub fn transport_cases(rounds: u64) -> Vec<TransportCase> {
     [64usize, 256].into_iter().map(|n| measure_transport_case(n, rounds)).collect()
 }
 
+/// Measures the registry `mobility` scenario with its epoch length
+/// re-aimed to `epoch_rounds`: the timeline (and its per-epoch RGG
+/// rebuilds) is built in the runner constructor, then one trial runs
+/// timed. Shorter epochs buy geometric fidelity with more rebuilds —
+/// this case pair makes that trade measurable across PRs.
+pub fn measure_mobility_case(epoch_rounds: u64) -> MobilityCase {
+    use scenario::{registry, ScenarioRunner};
+    let mut s = registry::find("mobility").expect("mobility is registered");
+    s.mobility
+        .as_mut()
+        .expect("the mobility scenario has a mobility spec")
+        .epoch_rounds = epoch_rounds;
+    let runner = ScenarioRunner::new(s).expect("registry scenario compiles");
+    let nodes = runner.topology().graph.len();
+    let rebuild_ns: u64 = runner
+        .rebuild_ns()
+        .expect("mobility runner tracks rebuild cost")
+        .iter()
+        .sum();
+    let epochs = runner
+        .timeline()
+        .expect("mobility runner has a timeline")
+        .num_epochs();
+    let start = Instant::now();
+    let outcome = runner.run_trial(0);
+    let elapsed = start.elapsed().as_secs_f64();
+    MobilityCase {
+        case: format!("mobility-epoch-{epoch_rounds}"),
+        nodes,
+        rounds: outcome.rounds,
+        epochs,
+        rebuild_ms: rebuild_ns as f64 / 1e6,
+        elapsed_s: elapsed,
+        rounds_per_sec: outcome.rounds as f64 / elapsed,
+    }
+}
+
+/// The mobility case set: the registry scenario at its native epoch
+/// length and at a 4x finer grid (more rebuilds over the same horizon).
+pub fn mobility_cases() -> Vec<MobilityCase> {
+    [120u64, 30].into_iter().map(measure_mobility_case).collect()
+}
+
 /// Runs the pinned campaign subset `repetitions` times and returns the
 /// timed fan-out measurement.
 pub fn measure_campaign(repetitions: u32) -> CampaignPerf {
@@ -626,6 +740,9 @@ pub fn run(quick: bool) -> BenchReport {
         engine: engine_cases(rounds),
         scale: scale_cases(scale_rounds),
         transport: transport_cases(rounds),
+        // Mobility cases are cheap (a 40-node, 720-round trial per
+        // epoch length); the same pair runs at every budget.
+        mobility: mobility_cases(),
         campaign: measure_campaign(reps),
     }
 }
@@ -648,6 +765,11 @@ mod tests {
         assert_eq!(ns, vec![1_000, 10_000, 50_000]);
         assert_eq!(back.scale.len(), report.scale.len());
         assert!(report.summary().contains("scale curve"));
+        // The mobility section pairs the native epoch length with a 4x
+        // finer grid over the same horizon.
+        let epochs: Vec<usize> = report.mobility.iter().map(|c| c.epochs).collect();
+        assert_eq!(epochs, vec![6, 24]);
+        assert!(report.summary().contains("rebuild"));
     }
 
     #[test]
@@ -681,7 +803,11 @@ mod tests {
         let same = compare(&base, &base, 0.5);
         assert_eq!(
             same.cases.len(),
-            base.engine.len() + base.scale.len() + base.transport.len() + 1
+            base.engine.len()
+                + base.scale.len()
+                + base.transport.len()
+                + base.mobility.len()
+                + 1
         );
         assert!(same.regressions().is_empty());
         assert!(same.missing.is_empty() && same.added.is_empty());
@@ -754,6 +880,42 @@ mod tests {
         // The mock net is configured with one round of per-hop delay and
         // the latency probe measures exactly that.
         assert_eq!(case.delivery_latency_rounds, 1.0);
+    }
+
+    #[test]
+    fn mobility_cases_track_rebuild_cost_across_epoch_lengths() {
+        let coarse = measure_mobility_case(240);
+        let fine = measure_mobility_case(60);
+        assert_eq!(coarse.nodes, fine.nodes);
+        assert_eq!(coarse.rounds, fine.rounds, "same horizon either way");
+        assert_eq!(coarse.epochs, 3);
+        assert_eq!(fine.epochs, 12);
+        // More epochs can only mean more (well, not less) rebuild work;
+        // both totals include the shared static deployment build.
+        assert!(fine.rebuild_ms >= coarse.rebuild_ms * 0.5, "rebuild clock sane");
+        assert!(coarse.rebuild_ms >= 0.0 && fine.rebuild_ms >= 0.0);
+    }
+
+    #[test]
+    fn reports_without_a_mobility_section_still_load() {
+        // Pre-mobility BENCH.json files have no `mobility` key: they
+        // parse (empty section), validate, and the new cases surface as
+        // informational churn in a comparison, never as regressions.
+        let report = run(true);
+        let mut legacy = report.clone();
+        legacy.mobility.clear();
+        let json = legacy.to_json();
+        let stripped = json.replace("\"mobility\": [],\n  ", "");
+        assert_ne!(json, stripped, "test must actually strip the key");
+        let back = BenchReport::from_json(&stripped).unwrap();
+        assert!(back.mobility.is_empty());
+        assert!(!back.summary().contains("rebuild"));
+        let cmp = compare(&back, &report, 0.5);
+        assert!(cmp.regressions().is_empty());
+        assert_eq!(
+            cmp.added,
+            report.mobility.iter().map(|c| c.case.clone()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

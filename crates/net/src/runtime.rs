@@ -22,6 +22,7 @@ use radio_sim::fault::FaultPlan;
 use radio_sim::graph::{DualGraph, NodeId};
 use radio_sim::process::{Action, Context, ProcId, Process};
 use radio_sim::rng::{derive_stream, StreamKind};
+use radio_sim::timeline::GraphTimeline;
 use radio_sim::trace::{Event, EventKind, FaultEvent, RecordingPolicy, RoundStats, Trace};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -46,6 +47,12 @@ pub struct ClusterConfig {
     /// The fault schedule (churn, jamming, drop bursts); empty by
     /// default.
     pub faults: FaultPlan,
+    /// Dynamic geometry: the epoch schedule of dual-graph snapshots.
+    /// Must match the timeline installed on the transport
+    /// ([`crate::transport::SimTransport::with_timeline`]) so both
+    /// sides swap at identical boundaries. `None` keeps the static
+    /// path byte-identical.
+    pub timeline: Option<GraphTimeline>,
 }
 
 impl ClusterConfig {
@@ -61,7 +68,26 @@ impl ClusterConfig {
             r: 2.0,
             recording: RecordingPolicy::outputs_only(),
             faults: FaultPlan::none(),
+            timeline: None,
         }
+    }
+
+    /// Installs a dynamic-geometry timeline. The config's `graph`
+    /// becomes the timeline's first snapshot, mirroring
+    /// [`radio_sim::engine::Configuration::with_timeline`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timeline's vertex count differs from the graph's.
+    pub fn with_timeline(mut self, timeline: GraphTimeline) -> Self {
+        assert_eq!(
+            timeline.len(),
+            self.graph.len(),
+            "timeline must cover the same vertex set as the graph"
+        );
+        self.graph = Arc::clone(timeline.epoch_graph(0));
+        self.timeline = Some(timeline);
+        self
     }
 
     /// Sets the geographic parameter `r`.
@@ -141,6 +167,11 @@ impl<P: Process> NodeRuntime<P> {
 /// 4. outputs, consumed by the environment next round.
 pub struct Cluster<P: Process, T: Transport<P::Msg>> {
     graph: Arc<DualGraph>,
+    /// Dynamic geometry: `graph` is swapped from this schedule at epoch
+    /// starts, before the round's fault step — the same boundaries the
+    /// engine (and a timeline-carrying transport) swap at.
+    timeline: Option<GraphTimeline>,
+    epoch: usize,
     transport: T,
     r: f64,
     recording: RecordingPolicy,
@@ -192,11 +223,17 @@ impl<P: Process, T: Transport<P::Msg>> Cluster<P, T> {
                 rng: derive_stream(master_seed, StreamKind::Process, v as u64),
             })
             .collect();
-        let delta = config.graph.delta();
-        let delta_prime = config.graph.delta_prime();
+        // Timeline maxima when geometry is dynamic, exactly like the
+        // engine, so processes see constant Δ/Δ' across epochs.
+        let (delta, delta_prime) = match &config.timeline {
+            Some(t) => (t.delta(), t.delta_prime()),
+            None => (config.graph.delta(), config.graph.delta_prime()),
+        };
         let trace = Trace::new(n, config.proc_ids.clone());
         Cluster {
             graph: config.graph,
+            timeline: config.timeline,
+            epoch: 0,
             transport,
             r: config.r,
             recording: config.recording,
@@ -250,9 +287,16 @@ impl<P: Process, T: Transport<P::Msg>> Cluster<P, T> {
         &self.transport
     }
 
-    /// The dual graph the nodes live on.
+    /// The dual graph the nodes live on (the current epoch's snapshot
+    /// when geometry is dynamic).
     pub fn graph(&self) -> &DualGraph {
         &self.graph
+    }
+
+    /// The index of the epoch whose snapshot is currently in force
+    /// (always 0 for static geometry).
+    pub fn epoch(&self) -> usize {
+        self.epoch
     }
 
     /// Reserves trace capacity for `rounds` further rounds of channel
@@ -268,6 +312,16 @@ impl<P: Process, T: Transport<P::Msg>> Cluster<P, T> {
         let n = self.graph.len();
         let round = self.round + 1;
         let have_faults = !self.faults.is_empty();
+
+        // Dynamic geometry: swap in the snapshot covering this round
+        // before anything reads adjacency (the transport swaps its own
+        // copy inside `resolve_round` at the same boundaries).
+        if let Some(tl) = &self.timeline {
+            while self.epoch + 1 < tl.num_epochs() && tl.epoch_start(self.epoch + 1) <= round {
+                self.epoch += 1;
+                self.graph = Arc::clone(tl.epoch_graph(self.epoch));
+            }
+        }
 
         // Step 0: fault masks for this round; record Crash/Recover and
         // JamStart/JamEnd transitions and fire recovery hooks.
@@ -680,6 +734,52 @@ mod tests {
         cluster.run(8);
 
         assert_eq!(engine.trace().events, cluster.trace().events);
+    }
+
+    /// The ISSUE 10 keystone in miniature: with a *multi-epoch*
+    /// timeline installed on both the cluster and its `SimTransport`,
+    /// the execution stays byte-identical to the engine's over the same
+    /// timeline — faults, randomized scheduler, and all.
+    #[test]
+    fn sim_cluster_matches_engine_across_epoch_boundaries() {
+        let a = Arc::new(faulted_graph());
+        // Epoch 2 rewires the middle of the line and shifts the extra
+        // edges; epoch 3 goes back to a denser variant.
+        let b = Arc::new(DualGraph::new(4, [(0, 2), (2, 1), (1, 3)], [(0, 3)]).unwrap());
+        let c = Arc::new(DualGraph::new(4, [(0, 1), (0, 2), (0, 3)], [(1, 2), (2, 3)]).unwrap());
+        let timeline = || {
+            GraphTimeline::new([
+                (1, Arc::clone(&a)),
+                (3, Arc::clone(&b)),
+                (5, Arc::clone(&c)),
+            ])
+            .unwrap()
+        };
+        let mk_sched = || Box::new(BernoulliEdges::new(0.6, 5)) as Box<dyn LinkScheduler>;
+        let seed = 42;
+
+        let config = Configuration::new(Arc::clone(&a), mk_sched())
+            .with_recording(RecordingPolicy::full())
+            .with_faults(fault_plan())
+            .with_timeline(timeline());
+        let mut engine = Engine::new(config, beacons(), Box::new(NullEnvironment), seed);
+        engine.run(6);
+        let reference = engine.into_trace();
+
+        let config = ClusterConfig::new(Arc::clone(&a))
+            .with_recording(RecordingPolicy::full())
+            .with_faults(fault_plan())
+            .with_timeline(timeline());
+        let transport = SimTransport::new(Arc::clone(&a), mk_sched()).with_timeline(timeline());
+        let mut cluster =
+            Cluster::new(config, transport, beacons(), Box::new(NullEnvironment), seed);
+        cluster.run(6);
+        assert_eq!(cluster.epoch(), 2);
+        let trace = cluster.into_trace();
+
+        assert_eq!(reference.events, trace.events);
+        assert_eq!(reference.round_stats, trace.round_stats);
+        assert_eq!(reference.rounds, trace.rounds);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use radio_sim::process::Action;
 use radio_sim::resolve;
 use radio_sim::rng::{derive_stream, StreamKind};
 use radio_sim::scheduler::{AdaptiveScheduler, LinkScheduler, SchedulerBox};
+use radio_sim::timeline::GraphTimeline;
 use rand::Rng;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -75,6 +76,11 @@ pub trait Transport<M: Clone + Send>: Send {
 /// byte-identical to the engine's by construction.
 pub struct SimTransport {
     graph: Arc<DualGraph>,
+    /// Dynamic geometry: the epoch schedule `graph` is swapped from,
+    /// at exactly the boundaries the engine swaps at (epoch starts,
+    /// before adjacency is read); `epoch` is the current index.
+    timeline: Option<GraphTimeline>,
+    epoch: usize,
     scheduler: SchedulerBox,
     shards: usize,
     transmitting: Vec<bool>,
@@ -91,6 +97,8 @@ impl SimTransport {
         let n = graph.len();
         SimTransport {
             graph,
+            timeline: None,
+            epoch: 0,
             scheduler: SchedulerBox::Oblivious(scheduler),
             shards: 1,
             transmitting: vec![false; n],
@@ -114,7 +122,26 @@ impl SimTransport {
         self
     }
 
-    /// The dual graph this transport resolves over.
+    /// Installs a dynamic-geometry timeline; the transport resolves
+    /// each round over the snapshot in force at that round, swapping at
+    /// the same epoch boundaries as the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timeline's vertex count differs from the graph's.
+    pub fn with_timeline(mut self, timeline: GraphTimeline) -> Self {
+        assert_eq!(
+            timeline.len(),
+            self.graph.len(),
+            "timeline must cover the same vertex set as the graph"
+        );
+        self.graph = Arc::clone(timeline.epoch_graph(0));
+        self.timeline = Some(timeline);
+        self
+    }
+
+    /// The dual graph this transport resolves over (the current
+    /// epoch's snapshot when geometry is dynamic).
     pub fn graph(&self) -> &DualGraph {
         &self.graph
     }
@@ -127,6 +154,16 @@ impl<M: Clone + Send> Transport<M> for SimTransport {
         actions: &[Action<M>],
         receptions: &mut Vec<Reception<M>>,
     ) {
+        // Dynamic geometry: swap in the snapshot covering this round
+        // before adjacency is read — the same boundary discipline as
+        // the engine, so both substrates resolve over identical graphs
+        // every round.
+        if let Some(tl) = &self.timeline {
+            while self.epoch + 1 < tl.num_epochs() && tl.epoch_start(self.epoch + 1) <= round {
+                self.epoch += 1;
+                self.graph = Arc::clone(tl.epoch_graph(self.epoch));
+            }
+        }
         let n = self.graph.len();
         assert_eq!(actions.len(), n, "one action per vertex required");
         self.transmitting.fill(false);

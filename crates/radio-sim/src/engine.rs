@@ -19,6 +19,7 @@ use crate::graph::{DualGraph, NodeId};
 use crate::process::{Action, Context, ProcId, Process};
 use crate::rng::{derive_stream, StreamKind};
 use crate::scheduler::{LinkScheduler, SchedulerBox};
+use crate::timeline::GraphTimeline;
 use crate::trace::{Event, EventKind, FaultEvent, RecordingPolicy, Trace};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -40,6 +41,13 @@ pub struct Configuration {
     pub proc_ids: Vec<ProcId>,
     /// The geographic parameter `r ≥ 1` the dual graph satisfies.
     pub r: f64,
+    /// Dynamic geometry: the epoch schedule of dual-graph snapshots.
+    /// `None` (the default) and a single-epoch timeline over `graph` are
+    /// byte-identical to the static path; a multi-epoch timeline makes
+    /// the engine swap `graph` at each epoch boundary before the round's
+    /// fault step. Degree bounds reported to processes are the timeline
+    /// maxima, so `Δ`/`Δ'` stay constant across epochs.
+    pub timeline: Option<GraphTimeline>,
     /// What the engine records into the trace.
     pub recording: RecordingPolicy,
     /// The fault schedule (churn, jamming, drop bursts); empty by
@@ -71,6 +79,7 @@ impl Configuration {
             scheduler: SchedulerBox::Oblivious(scheduler),
             proc_ids: (0..n as u64).collect(),
             r: 2.0,
+            timeline: None,
             recording: RecordingPolicy::outputs_only(),
             faults: FaultPlan::none(),
             shards: 1,
@@ -101,6 +110,25 @@ impl Configuration {
         scheduler: Box<dyn crate::scheduler::AdaptiveScheduler>,
     ) -> Self {
         self.scheduler = SchedulerBox::Adaptive(scheduler);
+        self
+    }
+
+    /// Installs a dynamic-geometry timeline. The configuration's `graph`
+    /// becomes the timeline's first snapshot so every consumer (fault
+    /// validation, process count, `net`'s caches) sees the epoch-0
+    /// geometry before the first round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timeline's vertex count differs from the graph's.
+    pub fn with_timeline(mut self, timeline: GraphTimeline) -> Self {
+        assert_eq!(
+            timeline.len(),
+            self.graph.len(),
+            "timeline must cover the same vertex set as the graph"
+        );
+        self.graph = Arc::clone(timeline.epoch_graph(0));
+        self.timeline = Some(timeline);
         self
     }
 
@@ -156,6 +184,10 @@ impl Configuration {
 /// The synchronous executor for processes of type `P`.
 pub struct Engine<P: Process> {
     graph: Arc<DualGraph>,
+    /// The epoch schedule `graph` is swapped from, if geometry is
+    /// dynamic; `epoch` is the index of the epoch `graph` came from.
+    timeline: Option<GraphTimeline>,
+    epoch: usize,
     scheduler: SchedulerBox,
     r: f64,
     recording: RecordingPolicy,
@@ -218,14 +250,21 @@ impl<P: Process> Engine<P> {
         let rngs = (0..n)
             .map(|v| derive_stream(master_seed, StreamKind::Process, v as u64))
             .collect();
-        let delta = config.graph.delta();
-        let delta_prime = config.graph.delta_prime();
+        // Degree bounds are timeline maxima when geometry is dynamic, so
+        // the Δ/Δ' a process sees stay constant across epoch boundaries;
+        // for static geometry these are exactly the graph's bounds.
+        let (delta, delta_prime) = match &config.timeline {
+            Some(t) => (t.delta(), t.delta_prime()),
+            None => (config.graph.delta(), config.graph.delta_prime()),
+        };
         let trace = Trace::new(n, config.proc_ids.clone());
         let telemetry = config
             .telemetry
             .then(|| Box::new(telemetry::EngineMetrics::new(config.shards.max(1))));
         Engine {
             graph: config.graph,
+            timeline: config.timeline,
+            epoch: 0,
             scheduler: config.scheduler,
             r: config.r,
             recording: config.recording,
@@ -285,9 +324,16 @@ impl<P: Process> Engine<P> {
         self.telemetry.take().map(|b| *b)
     }
 
-    /// The dual graph being simulated.
+    /// The dual graph being simulated (the snapshot of the current
+    /// epoch when geometry is dynamic).
     pub fn graph(&self) -> &DualGraph {
         &self.graph
+    }
+
+    /// The index of the epoch whose snapshot is currently in force
+    /// (always 0 for static geometry).
+    pub fn epoch(&self) -> usize {
+        self.epoch
     }
 
     /// Reserves trace capacity for `rounds` further rounds of aggregate
@@ -310,6 +356,20 @@ impl<P: Process> Engine<P> {
         // fields stay independently borrowable; it is put back at the
         // end. A disabled handle costs one `None` branch per phase.
         let mut telem = self.telemetry.take();
+
+        // Dynamic geometry: swap in the snapshot covering this round
+        // before anything reads adjacency. A single-epoch timeline never
+        // enters the loop, keeping the static path byte-identical.
+        if let Some(tl) = &self.timeline {
+            while self.epoch + 1 < tl.num_epochs() && tl.epoch_start(self.epoch + 1) <= round {
+                self.epoch += 1;
+                self.graph = Arc::clone(tl.epoch_graph(self.epoch));
+                if let Some(t) = telem.as_deref_mut() {
+                    t.epoch_switches += 1;
+                }
+            }
+        }
+
         let mut span = telemetry::Stopwatch::armed(telem.is_some());
 
         // Step 0: fault masks for this round; record Crash/Recover and
@@ -1160,6 +1220,106 @@ mod tests {
                 assert_eq!(serial.round_stats, sharded.round_stats, "shards = {shards}");
             }
         }
+    }
+
+    // -- dynamic geometry ---------------------------------------------------
+
+    use crate::timeline::GraphTimeline;
+
+    #[test]
+    fn single_epoch_timeline_is_byte_identical_to_static() {
+        // The identity refactor, pinned at the engine level: the same
+        // contention-heavy faulted execution with and without a
+        // single-epoch timeline must produce identical events and stats.
+        let topo = crate::topology::random_geometric(crate::topology::RggParams {
+            n: 50,
+            side: 3.0,
+            r: 2.0,
+            grey_reliable_p: 0.1,
+            grey_unreliable_p: 0.8,
+            seed: 31,
+        });
+        let graph = Arc::new(topo.graph);
+        let faults = FaultPlan::none()
+            .with_crash(NodeId(2), 3, Some(7))
+            .with_jam(vec![NodeId(5), NodeId(11)], 2, 6)
+            .with_drop_burst(1, 9, 0.4);
+        let run = |timeline: bool| {
+            let procs = (0..50)
+                .map(|v| Beacon::new(v as u32, vec![1 + v as u64 % 4, 5, 6 + v as u64 % 3]))
+                .collect();
+            let mut config = Configuration::new(
+                Arc::clone(&graph),
+                Box::new(crate::scheduler::BernoulliEdges::new(0.5, 7)) as Box<dyn LinkScheduler>,
+            )
+            .with_recording(crate::trace::RecordingPolicy::full())
+            .with_faults(faults.clone());
+            if timeline {
+                config = config.with_timeline(GraphTimeline::single(Arc::clone(&graph)));
+            }
+            let mut engine = Engine::new(config, procs, Box::new(NullEnvironment), 23);
+            engine.run(10);
+            engine.into_trace()
+        };
+        let static_trace = run(false);
+        let timeline_trace = run(true);
+        assert_eq!(static_trace.events, timeline_trace.events);
+        assert_eq!(static_trace.round_stats, timeline_trace.round_stats);
+    }
+
+    #[test]
+    fn engine_swaps_graphs_at_epoch_boundaries() {
+        // Epoch 1 (rounds 1-2): 0-1 connected. Epoch 2 (rounds 3+):
+        // 0-2 connected instead. Node 0 transmits every round; who
+        // hears it tracks the epoch schedule exactly.
+        let a = Arc::new(DualGraph::reliable_only(3, [(0, 1)]).unwrap());
+        let b = Arc::new(DualGraph::reliable_only(3, [(0, 2)]).unwrap());
+        let timeline =
+            GraphTimeline::new([(1, Arc::clone(&a)), (3, Arc::clone(&b))]).unwrap();
+        let procs = vec![
+            Beacon::new(7, vec![1, 2, 3, 4]),
+            Beacon::new(8, vec![]),
+            Beacon::new(9, vec![]),
+        ];
+        let config = Configuration::new(a, Box::new(NoExtraEdges))
+            .with_recording(crate::trace::RecordingPolicy::full())
+            .with_timeline(timeline);
+        let mut engine = Engine::new(config, procs, Box::new(NullEnvironment), 1);
+        assert_eq!(engine.epoch(), 0);
+        engine.run(4);
+        assert_eq!(engine.epoch(), 1);
+        let recvs: Vec<(u64, NodeId)> = engine
+            .trace()
+            .receptions()
+            .map(|(t, v, _, _)| (t, v))
+            .collect();
+        assert_eq!(
+            recvs,
+            vec![
+                (1, NodeId(1)),
+                (2, NodeId(1)),
+                (3, NodeId(2)),
+                (4, NodeId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn epoch_switches_are_counted_in_telemetry() {
+        let a = Arc::new(DualGraph::reliable_only(2, [(0, 1)]).unwrap());
+        let timeline = GraphTimeline::new([
+            (1, Arc::clone(&a)),
+            (3, Arc::clone(&a)),
+            (5, Arc::clone(&a)),
+        ])
+        .unwrap();
+        let procs = vec![Beacon::new(1, vec![1]), Beacon::new(2, vec![])];
+        let config = Configuration::new(a, Box::new(NoExtraEdges))
+            .with_timeline(timeline)
+            .with_telemetry(true);
+        let mut engine = Engine::new(config, procs, Box::new(NullEnvironment), 1);
+        engine.run(6);
+        assert_eq!(engine.telemetry().unwrap().epoch_switches, 2);
     }
 
     // -- engine telemetry ---------------------------------------------------

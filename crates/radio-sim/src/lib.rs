@@ -36,6 +36,10 @@
 //! * [`resolve`] — the collision rule as free functions (serial scatter
 //!   and sharded gather), shared by the engine and the `net` crate's
 //!   `SimTransport` so both substrates resolve receptions identically.
+//! * [`timeline`] — epoch-based dynamic geometry: the
+//!   [`GraphTimeline`](timeline::GraphTimeline) schedule of dual-graph
+//!   snapshots that mobility and moving jammers run on; a single-epoch
+//!   timeline is byte-identical to the static path.
 //! * [`fault`] — declarative fault plans (node churn, jamming windows,
 //!   message-drop bursts) injected deterministically by the engine.
 //! * [`trace`] — execution traces: the first-class record of an execution
@@ -77,6 +81,7 @@ pub mod process;
 pub mod resolve;
 pub mod rng;
 pub mod scheduler;
+pub mod timeline;
 pub mod topology;
 pub mod trace;
 
@@ -90,6 +95,7 @@ pub mod prelude {
     pub use crate::process::{Action, Context, ProcId, Process};
     pub use crate::scheduler;
     pub use crate::scheduler::LinkScheduler;
+    pub use crate::timeline::GraphTimeline;
     pub use crate::topology;
     pub use crate::trace::{Event, EventKind, Trace};
 }

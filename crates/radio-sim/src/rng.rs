@@ -28,6 +28,13 @@ pub enum StreamKind {
     /// round), so a lossy transport never perturbs process, scheduler, or
     /// fault streams.
     Transport,
+    /// Mobility randomness: random-waypoint draws (stream index = vertex
+    /// index) and per-epoch grey-zone rewiring of a dynamic geometry
+    /// timeline. A dedicated kind keeps moving scenarios from perturbing
+    /// the static topology, process, scheduler, fault, or transport
+    /// streams — a single-epoch timeline consumes no mobility randomness
+    /// at all.
+    Mobility,
 }
 
 impl StreamKind {
@@ -38,6 +45,7 @@ impl StreamKind {
             StreamKind::Topology => 0x544f504f,
             StreamKind::Fault => 0x46415554,     // "FAUT"
             StreamKind::Transport => 0x58505254, // "XPRT"
+            StreamKind::Mobility => 0x4d4f4249,  // "MOBI"
         }
     }
 }
@@ -98,6 +106,28 @@ mod tests {
         let mut a = derive_stream(1, StreamKind::Topology, 0);
         let mut b = derive_stream(2, StreamKind::Topology, 0);
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn mobility_stream_is_distinct_from_all_prior_kinds() {
+        // Adding Mobility must not collide with (and so can never
+        // perturb) any pre-existing stream: the tags are all distinct,
+        // and the derived streams differ pairwise on a shared index.
+        let kinds = [
+            StreamKind::Process,
+            StreamKind::Scheduler,
+            StreamKind::Topology,
+            StreamKind::Fault,
+            StreamKind::Transport,
+            StreamKind::Mobility,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                let mut sa = derive_stream(99, *a, 5);
+                let mut sb = derive_stream(99, *b, 5);
+                assert_ne!(sa.next_u64(), sb.next_u64(), "{a:?} vs {b:?}");
+            }
+        }
     }
 
     #[test]

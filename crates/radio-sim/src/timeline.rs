@@ -1,0 +1,296 @@
+//! Epoch-based dynamic geometry: the [`GraphTimeline`].
+//!
+//! Every execution so far ran on frozen geometry — one immutable
+//! [`DualGraph`] per trial. Mobile settings (moving jammers, node
+//! mobility) need the communication graph to *change over time* while
+//! keeping the stack's determinism and byte-identity contracts intact.
+//! A `GraphTimeline` is the minimal refactor that unlocks this: a
+//! deterministic sequence of `(epoch_start_round, Arc<DualGraph>)`
+//! snapshots, built **once** per trial before the first round, that the
+//! engine (and the `net` crate's cluster/transport) consult at the top
+//! of every round.
+//!
+//! Contracts:
+//!
+//! * Epochs are half-open round intervals: epoch `i` covers rounds
+//!   `[start_i, start_{i+1})`, the last epoch extends forever. The first
+//!   epoch starts at round 1 (rounds are 1-based everywhere).
+//! * All snapshots share one vertex set — mobility moves nodes, it does
+//!   not add or remove them — so engine scratch buffers and process
+//!   vectors stay valid across every boundary.
+//! * [`GraphTimeline::single`] over a graph `g` is the static model:
+//!   an engine driven by it is **byte-identical** to one configured with
+//!   `g` directly (pinned by proptest and the golden gate).
+//! * Degree bounds reported to processes ([`GraphTimeline::delta`],
+//!   [`GraphTimeline::delta_prime`]) are the maxima over all epochs, so
+//!   the `Δ`/`Δ'` a process sees in its [`Context`](crate::process::Context)
+//!   stay constant for the whole execution — exactly the per-epoch
+//!   values for a single epoch.
+
+use crate::graph::DualGraph;
+use std::sync::Arc;
+
+/// An error constructing a [`GraphTimeline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineError {
+    /// The epoch list was empty.
+    Empty,
+    /// The first epoch did not start at round 1.
+    FirstEpochStart(u64),
+    /// Epoch starts were not strictly increasing.
+    NonIncreasing {
+        /// Index of the offending epoch.
+        index: usize,
+        /// Its start round.
+        start: u64,
+    },
+    /// Two snapshots disagreed on the vertex count.
+    VertexMismatch {
+        /// Index of the offending epoch.
+        index: usize,
+        /// Its vertex count.
+        n: usize,
+        /// The first epoch's vertex count.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimelineError::Empty => write!(f, "a timeline needs at least one epoch"),
+            TimelineError::FirstEpochStart(s) => {
+                write!(f, "the first epoch must start at round 1, got {s}")
+            }
+            TimelineError::NonIncreasing { index, start } => write!(
+                f,
+                "epoch starts must be strictly increasing; epoch {index} starts at {start}"
+            ),
+            TimelineError::VertexMismatch { index, n, expected } => write!(
+                f,
+                "all epochs must share one vertex set; epoch {index} has {n} vertices, \
+                 expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TimelineError {}
+
+/// A deterministic schedule of dual-graph snapshots over the rounds of
+/// one execution. Cheap to clone (snapshots are `Arc`-shared).
+#[derive(Debug, Clone)]
+pub struct GraphTimeline {
+    /// `(first_round, snapshot)` pairs, strictly increasing starts,
+    /// first start = 1.
+    epochs: Vec<(u64, Arc<DualGraph>)>,
+    /// Max reliable degree bound over all epochs.
+    delta: usize,
+    /// Max G' degree bound over all epochs.
+    delta_prime: usize,
+}
+
+impl GraphTimeline {
+    /// The static timeline: one epoch covering every round. This is the
+    /// identity refactor — an engine over `single(g)` is byte-identical
+    /// to one over `g`.
+    pub fn single(graph: impl Into<Arc<DualGraph>>) -> Self {
+        let graph = graph.into();
+        let delta = graph.delta();
+        let delta_prime = graph.delta_prime();
+        GraphTimeline {
+            epochs: vec![(1, graph)],
+            delta,
+            delta_prime,
+        }
+    }
+
+    /// Builds a timeline from explicit `(epoch_start_round, snapshot)`
+    /// pairs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty list, a first epoch not starting at round 1,
+    /// non-increasing starts, or snapshots with differing vertex counts.
+    pub fn new(
+        epochs: impl IntoIterator<Item = (u64, Arc<DualGraph>)>,
+    ) -> Result<Self, TimelineError> {
+        let epochs: Vec<(u64, Arc<DualGraph>)> = epochs.into_iter().collect();
+        let Some((first_start, first)) = epochs.first() else {
+            return Err(TimelineError::Empty);
+        };
+        if *first_start != 1 {
+            return Err(TimelineError::FirstEpochStart(*first_start));
+        }
+        let n = first.len();
+        let mut prev = 0u64;
+        let mut delta = 0usize;
+        let mut delta_prime = 0usize;
+        for (index, (start, graph)) in epochs.iter().enumerate() {
+            if *start <= prev {
+                return Err(TimelineError::NonIncreasing {
+                    index,
+                    start: *start,
+                });
+            }
+            prev = *start;
+            if graph.len() != n {
+                return Err(TimelineError::VertexMismatch {
+                    index,
+                    n: graph.len(),
+                    expected: n,
+                });
+            }
+            delta = delta.max(graph.delta());
+            delta_prime = delta_prime.max(graph.delta_prime());
+        }
+        Ok(GraphTimeline {
+            epochs,
+            delta,
+            delta_prime,
+        })
+    }
+
+    /// The number of epochs.
+    pub fn num_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Whether this is the static (one-epoch) timeline.
+    pub fn is_single(&self) -> bool {
+        self.epochs.len() == 1
+    }
+
+    /// The shared vertex count of every snapshot.
+    pub fn len(&self) -> usize {
+        self.epochs[0].1.len()
+    }
+
+    /// Whether the vertex set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The epochs, in order: `(first_round, snapshot)` pairs.
+    pub fn epochs(&self) -> &[(u64, Arc<DualGraph>)] {
+        &self.epochs
+    }
+
+    /// The first round of epoch `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn epoch_start(&self, index: usize) -> u64 {
+        self.epochs[index].0
+    }
+
+    /// The snapshot of epoch `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn epoch_graph(&self, index: usize) -> &Arc<DualGraph> {
+        &self.epochs[index].1
+    }
+
+    /// The index of the epoch covering `round` (rounds are 1-based;
+    /// rounds before the first epoch — there are none for a valid
+    /// timeline — and after the last start map to the covering epoch).
+    pub fn epoch_index(&self, round: u64) -> usize {
+        // partition_point: first epoch whose start exceeds `round`.
+        self.epochs.partition_point(|(start, _)| *start <= round).saturating_sub(1)
+    }
+
+    /// The snapshot in force at `round`.
+    pub fn graph_at(&self, round: u64) -> &Arc<DualGraph> {
+        &self.epochs[self.epoch_index(round)].1
+    }
+
+    /// Maximum reliable degree bound over all epochs (+1, as reported by
+    /// [`DualGraph::delta`]); the constant `Δ` processes see.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// Maximum `G'` degree bound over all epochs; the constant `Δ'`
+    /// processes see.
+    pub fn delta_prime(&self) -> usize {
+        self.delta_prime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: usize, reliable: &[(usize, usize)], extra: &[(usize, usize)]) -> Arc<DualGraph> {
+        Arc::new(DualGraph::new(n, reliable.iter().copied(), extra.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn single_matches_the_graph() {
+        let graph = g(3, &[(0, 1), (1, 2)], &[(0, 2)]);
+        let t = GraphTimeline::single(Arc::clone(&graph));
+        assert!(t.is_single());
+        assert_eq!(t.num_epochs(), 1);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.delta(), graph.delta());
+        assert_eq!(t.delta_prime(), graph.delta_prime());
+        for round in [1, 2, 100, u64::MAX] {
+            assert!(Arc::ptr_eq(t.graph_at(round), &graph), "round {round}");
+        }
+    }
+
+    #[test]
+    fn epoch_lookup_is_half_open() {
+        let a = g(3, &[(0, 1)], &[]);
+        let b = g(3, &[(1, 2)], &[]);
+        let c = g(3, &[(0, 2)], &[]);
+        let t = GraphTimeline::new([
+            (1, Arc::clone(&a)),
+            (5, Arc::clone(&b)),
+            (9, Arc::clone(&c)),
+        ])
+        .unwrap();
+        assert_eq!(t.num_epochs(), 3);
+        assert!(!t.is_single());
+        for (round, want) in [(1, &a), (4, &a), (5, &b), (8, &b), (9, &c), (1000, &c)] {
+            assert!(Arc::ptr_eq(t.graph_at(round), want), "round {round}");
+        }
+        assert_eq!(t.epoch_index(1), 0);
+        assert_eq!(t.epoch_index(5), 1);
+        assert_eq!(t.epoch_index(9), 2);
+        assert_eq!(t.epoch_start(1), 5);
+    }
+
+    #[test]
+    fn degree_bounds_are_maxima_over_epochs() {
+        // Epoch 0: a line (delta = 3); epoch 1: a star around 0
+        // (delta = 4) with an extra edge (delta_prime = 5).
+        let line = g(4, &[(0, 1), (1, 2), (2, 3)], &[]);
+        let star = g(4, &[(0, 1), (0, 2), (0, 3)], &[(1, 2)]);
+        let t = GraphTimeline::new([(1, Arc::clone(&line)), (10, Arc::clone(&star))]).unwrap();
+        assert_eq!(t.delta(), line.delta().max(star.delta()));
+        assert_eq!(t.delta_prime(), line.delta_prime().max(star.delta_prime()));
+    }
+
+    #[test]
+    fn rejects_malformed_timelines() {
+        let a = g(2, &[(0, 1)], &[]);
+        assert_eq!(GraphTimeline::new([]).unwrap_err(), TimelineError::Empty);
+        assert_eq!(
+            GraphTimeline::new([(2, Arc::clone(&a))]).unwrap_err(),
+            TimelineError::FirstEpochStart(2)
+        );
+        assert!(matches!(
+            GraphTimeline::new([(1, Arc::clone(&a)), (1, Arc::clone(&a))]).unwrap_err(),
+            TimelineError::NonIncreasing { index: 1, .. }
+        ));
+        let b = g(3, &[(0, 1)], &[]);
+        assert!(matches!(
+            GraphTimeline::new([(1, a), (4, b)]).unwrap_err(),
+            TimelineError::VertexMismatch { index: 1, n: 3, expected: 2 }
+        ));
+    }
+}

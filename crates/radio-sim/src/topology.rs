@@ -13,6 +13,7 @@ use crate::graph::DualGraph;
 use crate::rng::{derive_stream, StreamKind};
 use crate::scheduler::LinkScheduler;
 use rand::Rng;
+use std::sync::Arc;
 
 /// A generated network: dual graph plus its witnessing embedding.
 #[derive(Debug, Clone)]
@@ -485,8 +486,7 @@ pub fn two_tier(core: usize, periphery: usize, ring_radius: f64, r: f64) -> Topo
 /// whose area grows with `n`. Local quantities (Δ, per-neighborhood
 /// behavior) stay flat as `n` grows.
 pub fn constant_density(n: usize, density: f64, r: f64, seed: u64) -> Topology {
-    let area = n as f64 * std::f64::consts::PI / density;
-    let side = area.sqrt();
+    let side = constant_density_side(n, density);
     random_geometric(RggParams {
         n,
         side,
@@ -495,6 +495,194 @@ pub fn constant_density(n: usize, density: f64, r: f64, seed: u64) -> Topology {
         grey_unreliable_p: 1.0,
         seed,
     })
+}
+
+/// The arena side length [`constant_density`] deploys `n` nodes into at
+/// the given density (expected nodes per unit disc). Exposed so mobility
+/// timelines over constant-density deployments confine their waypoints
+/// to the same arena the static builder used.
+pub fn constant_density_side(n: usize, density: f64) -> f64 {
+    (n as f64 * std::f64::consts::PI / density).sqrt()
+}
+
+// ---------------------------------------------------------------------------
+// Mobility: random-waypoint timelines
+// ---------------------------------------------------------------------------
+
+/// One epoch of a random-waypoint mobility timeline: the round it takes
+/// effect, the rebuilt snapshot, and what the rebuild cost.
+#[derive(Debug, Clone)]
+pub struct MobilityEpoch {
+    /// First round this snapshot is in force (epoch `e` starts at
+    /// `1 + e · epoch_rounds`).
+    pub start_round: u64,
+    /// The dual graph rebuilt against this epoch's node positions.
+    pub graph: Arc<DualGraph>,
+    /// The embedding witnessing the snapshot; fault regions given as
+    /// discs resolve against this, per epoch.
+    pub embedding: Arc<Embedding>,
+    /// Wall-clock nanoseconds spent placing nodes and rebuilding
+    /// adjacency for this epoch (0 for epochs that share a snapshot).
+    pub build_ns: u64,
+}
+
+/// Errors from invalid mobility-timeline parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilityError {
+    /// The underlying deployment parameters were invalid.
+    Rgg(RggError),
+    /// `speed` was non-finite or negative.
+    BadSpeed(f64),
+    /// `epoch_rounds` was zero.
+    ZeroEpochRounds,
+    /// `epochs` was zero (a timeline needs at least one epoch).
+    NoEpochs,
+}
+
+impl std::fmt::Display for MobilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MobilityError::Rgg(e) => write!(f, "mobility: {e}"),
+            MobilityError::BadSpeed(s) => {
+                write!(f, "mobility: speed must be finite and >= 0, got {s}")
+            }
+            MobilityError::ZeroEpochRounds => write!(f, "mobility: epoch_rounds must be >= 1"),
+            MobilityError::NoEpochs => write!(f, "mobility: need at least one epoch"),
+        }
+    }
+}
+
+impl std::error::Error for MobilityError {}
+
+/// One node's random-waypoint state: current position, current target,
+/// and the private stream its waypoints come from.
+struct Walker {
+    pos: Point,
+    target: Point,
+    rng: rand_chacha::ChaCha8Rng,
+}
+
+impl Walker {
+    /// Moves `budget` distance units along the waypoint path: walk
+    /// toward the target, and on arrival draw the next target uniformly
+    /// in the `side × side` arena.
+    fn advance(&mut self, mut budget: f64, side: f64) {
+        while budget > 0.0 {
+            let dx = self.target.x - self.pos.x;
+            let dy = self.target.y - self.pos.y;
+            let d = (dx * dx + dy * dy).sqrt();
+            if d > budget {
+                let f = budget / d;
+                self.pos = Point::new(self.pos.x + dx * f, self.pos.y + dy * f);
+                return;
+            }
+            budget -= d;
+            self.pos = self.target;
+            self.target = Point::new(self.rng.gen::<f64>() * side, self.rng.gen::<f64>() * side);
+        }
+    }
+}
+
+/// Builds a random-waypoint mobility timeline over a random geometric
+/// deployment: epoch 0 is exactly [`random_geometric`]`(params)` (same
+/// placement, same grey wiring, same RNG consumption), and each later
+/// epoch advances every node `epoch_rounds · speed` distance units along
+/// its waypoint path, then rebuilds adjacency with the bucketed
+/// constructor.
+///
+/// Randomness discipline (`StreamKind::Mobility`):
+///
+/// * waypoint draws for vertex `v` come from stream index `v`;
+/// * epoch `e`'s grey-zone wiring comes from stream index `2³² + e`
+///   (disjoint from the per-node indices for every supported `n`);
+/// * `speed = 0` or a single epoch consumes **no** mobility randomness —
+///   frozen nodes share the epoch-0 snapshot `Arc`, so such timelines
+///   are trace-identical to static geometry.
+///
+/// # Errors
+///
+/// Returns a [`MobilityError`] for invalid deployment parameters,
+/// negative/non-finite speed, zero `epoch_rounds`, or zero `epochs`.
+pub fn random_geometric_timeline(
+    params: RggParams,
+    speed: f64,
+    epoch_rounds: u64,
+    epochs: usize,
+) -> Result<Vec<MobilityEpoch>, MobilityError> {
+    params.validate().map_err(MobilityError::Rgg)?;
+    if !speed.is_finite() || speed < 0.0 {
+        return Err(MobilityError::BadSpeed(speed));
+    }
+    if epoch_rounds == 0 {
+        return Err(MobilityError::ZeroEpochRounds);
+    }
+    if epochs == 0 {
+        return Err(MobilityError::NoEpochs);
+    }
+    debug_assert!((params.n as u64) < (1 << 32), "wiring stream indices overlap waypoints");
+
+    let t0 = std::time::Instant::now();
+    let base = try_random_geometric(params).map_err(MobilityError::Rgg)?;
+    let base_ns = t0.elapsed().as_nanos() as u64;
+    let base_graph = Arc::new(base.graph);
+    let base_emb = Arc::new(base.embedding);
+    let mut out = vec![MobilityEpoch {
+        start_round: 1,
+        graph: Arc::clone(&base_graph),
+        embedding: Arc::clone(&base_emb),
+        build_ns: base_ns,
+    }];
+    if epochs == 1 {
+        return Ok(out);
+    }
+    if speed == 0.0 {
+        for e in 1..epochs {
+            out.push(MobilityEpoch {
+                start_round: 1 + e as u64 * epoch_rounds,
+                graph: Arc::clone(&base_graph),
+                embedding: Arc::clone(&base_emb),
+                build_ns: 0,
+            });
+        }
+        return Ok(out);
+    }
+
+    let mut walkers: Vec<Walker> = (0..params.n)
+        .map(|v| {
+            let mut rng = derive_stream(params.seed, StreamKind::Mobility, v as u64);
+            let target =
+                Point::new(rng.gen::<f64>() * params.side, rng.gen::<f64>() * params.side);
+            Walker {
+                pos: base_emb.position(v),
+                target,
+                rng,
+            }
+        })
+        .collect();
+    for e in 1..epochs {
+        let t0 = std::time::Instant::now();
+        for w in &mut walkers {
+            w.advance(epoch_rounds as f64 * speed, params.side);
+        }
+        let points: Vec<Point> = walkers.iter().map(|w| w.pos).collect();
+        let mut wiring = derive_stream(params.seed, StreamKind::Mobility, (1u64 << 32) + e as u64);
+        let topo = build_from_embedding(Embedding::new(points), params.r, |_, _, _| {
+            if wiring.gen_bool(params.grey_reliable_p) {
+                GreyKind::Reliable
+            } else if wiring.gen_bool(params.grey_unreliable_p) {
+                GreyKind::Unreliable
+            } else {
+                GreyKind::Absent
+            }
+        });
+        out.push(MobilityEpoch {
+            start_round: 1 + e as u64 * epoch_rounds,
+            graph: Arc::new(topo.graph),
+            embedding: Arc::new(topo.embedding),
+            build_ns: t0.elapsed().as_nanos() as u64,
+        });
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -722,6 +910,94 @@ mod tests {
             grey_reliable_p: 2.0,
             ..Default::default()
         });
+    }
+
+    // -- mobility timelines ------------------------------------------------
+
+    fn mob_params() -> RggParams {
+        RggParams {
+            n: 30,
+            side: 3.0,
+            r: 2.0,
+            grey_reliable_p: 0.1,
+            grey_unreliable_p: 0.8,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn timeline_epoch_zero_is_the_static_deployment() {
+        let epochs = random_geometric_timeline(mob_params(), 0.1, 16, 4).unwrap();
+        let static_topo = random_geometric(mob_params());
+        assert_eq!(epochs.len(), 4);
+        assert_eq!(epochs[0].start_round, 1);
+        assert_eq!(*epochs[0].graph, static_topo.graph);
+        assert_eq!(*epochs[0].embedding, static_topo.embedding);
+        for (e, ep) in epochs.iter().enumerate() {
+            assert_eq!(ep.start_round, 1 + e as u64 * 16);
+        }
+    }
+
+    #[test]
+    fn zero_speed_timeline_shares_the_base_snapshot() {
+        let epochs = random_geometric_timeline(mob_params(), 0.0, 16, 5).unwrap();
+        assert_eq!(epochs.len(), 5);
+        for ep in &epochs[1..] {
+            assert!(Arc::ptr_eq(&ep.graph, &epochs[0].graph));
+            assert!(Arc::ptr_eq(&ep.embedding, &epochs[0].embedding));
+            assert_eq!(ep.build_ns, 0);
+        }
+    }
+
+    #[test]
+    fn moving_timeline_is_deterministic_and_stays_in_the_arena() {
+        let a = random_geometric_timeline(mob_params(), 0.2, 10, 6).unwrap();
+        let b = random_geometric_timeline(mob_params(), 0.2, 10, 6).unwrap();
+        assert_eq!(a.len(), b.len());
+        let mut moved = false;
+        for (ea, eb) in a.iter().zip(&b) {
+            assert_eq!(*ea.graph, *eb.graph);
+            assert_eq!(*ea.embedding, *eb.embedding);
+            for p in ea.embedding.iter() {
+                assert!((0.0..=3.0).contains(&p.x) && (0.0..=3.0).contains(&p.y), "{p:?}");
+            }
+            if *ea.embedding != *a[0].embedding {
+                moved = true;
+            }
+        }
+        assert!(moved, "nodes moving 2.0 units/epoch must change the embedding");
+    }
+
+    #[test]
+    fn mobility_does_not_perturb_the_static_placement() {
+        // Building a moving timeline and the static topology from the
+        // same seed must agree on epoch 0: mobility draws come from
+        // their own stream kind, never the Topology streams.
+        let moving = random_geometric_timeline(mob_params(), 0.5, 8, 3).unwrap();
+        let static_topo = random_geometric(mob_params());
+        assert_eq!(*moving[0].graph, static_topo.graph);
+    }
+
+    #[test]
+    fn timeline_rejects_bad_parameters() {
+        let p = mob_params();
+        assert!(matches!(
+            random_geometric_timeline(p, -0.1, 8, 2),
+            Err(MobilityError::BadSpeed(_))
+        ));
+        assert!(matches!(
+            random_geometric_timeline(p, 0.1, 0, 2),
+            Err(MobilityError::ZeroEpochRounds)
+        ));
+        assert!(matches!(
+            random_geometric_timeline(p, 0.1, 8, 0),
+            Err(MobilityError::NoEpochs)
+        ));
+        let bad = RggParams { n: 0, ..p };
+        assert!(matches!(
+            random_geometric_timeline(bad, 0.1, 8, 2),
+            Err(MobilityError::Rgg(RggError::NoNodes))
+        ));
     }
 
     #[test]

@@ -171,6 +171,8 @@ mod tests {
             first_delivery,
             stop_satisfied: true,
             max_owners: None,
+            jammed_recvs: None,
+            clear_recvs: None,
             spec_ok: true,
         }
     }

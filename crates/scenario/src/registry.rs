@@ -316,6 +316,33 @@ pub fn all() -> Vec<Scenario> {
         ),
         build(
             ScenarioBuilder::new(
+                "mobility",
+                TopologySpec::RandomGeometric {
+                    n: 40,
+                    side: 4.0,
+                    r: 2.0,
+                    grey_reliable_p: 0.1,
+                    grey_unreliable_p: 0.8,
+                    seed: 41,
+                },
+                lb_workload(0.25, vec![0], 1_000),
+            )
+            .description(
+                "mobility: a streaming sender on a 40-node arena whose deployment \
+                 drifts under random-waypoint motion (120-round geometry epochs) \
+                 while a unit-radius jam disc sweeps left to right across the \
+                 arena; deliveries stall inside the disc's current footprint and \
+                 recover behind it",
+            )
+            .adversary(AdversarySpec::Bernoulli { p: 0.5 })
+            .mobility(0.005, 120)
+            .moving_jam_disc(0.5, 2.0, 1.0, 0.005, 0.0, 60, 600)
+            .stop(StopSpec::Rounds { rounds: 720 })
+            .trials(4)
+            .base_seed(73_000),
+        ),
+        build(
+            ScenarioBuilder::new(
                 "drop-burst",
                 TopologySpec::Clique { n: 8, r: 1.0 },
                 lb_workload(0.25, vec![0], 1_000),
@@ -362,7 +389,7 @@ mod tests {
                 "experiment e{e} missing from the registry"
             );
         }
-        for extra in ["churn", "jamming-window", "drop-burst"] {
+        for extra in ["churn", "jamming-window", "mobility", "drop-burst"] {
             assert!(names.iter().any(|n| n == extra), "{extra} missing");
         }
     }
@@ -384,10 +411,19 @@ mod tests {
 
     #[test]
     fn fault_scenarios_actually_inject_faults() {
-        for name in ["churn", "jamming-window", "drop-burst"] {
+        for name in ["churn", "jamming-window", "mobility", "drop-burst"] {
             let s = find(name).unwrap();
             assert!(!s.faults.is_empty(), "{name} has an empty fault plan");
         }
+    }
+
+    #[test]
+    fn mobility_scenario_moves_both_geometry_and_jammer() {
+        let s = find("mobility").unwrap();
+        let m = s.mobility.expect("mobility scenario declares motion");
+        assert!(m.speed > 0.0);
+        assert!(m.epochs_for(720) > 1, "multi-epoch by construction");
+        assert!(s.faults.jams.iter().any(|j| j.is_moving()));
     }
 
     #[test]

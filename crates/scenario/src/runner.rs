@@ -10,7 +10,10 @@
 //! serialized trace from [`ScenarioRunner::trial_trace_json`] is
 //! byte-identical across replays.
 
-use crate::spec::{AdversarySpec, Scenario, ScenarioError, StopSpec, TransportSpec, WorkloadSpec};
+use crate::spec::{
+    AdversarySpec, RegionSpec, Scenario, ScenarioError, StopSpec, TopologySpec, TransportSpec,
+    WorkloadSpec,
+};
 use analysis::runner::run_trials;
 use analysis::stats::Summary;
 use analysis::table::{fnum, Table};
@@ -26,8 +29,10 @@ use radio_sim::environment::{Environment, NullEnvironment, ScriptedEnvironment};
 use radio_sim::fault::FaultPlan;
 use radio_sim::graph::{DualGraph, NodeId};
 use radio_sim::process::Process;
+use radio_sim::geometry::Embedding;
 use radio_sim::scheduler;
-use radio_sim::topology::Topology;
+use radio_sim::timeline::GraphTimeline;
+use radio_sim::topology::{self, RggParams, Topology};
 use radio_sim::trace::{EventKind, RecordingPolicy, RoundStats, Trace};
 use seed_agreement::alg::SeedProcess;
 use seed_agreement::{spec as seed_spec, SeedConfig};
@@ -112,7 +117,7 @@ impl<P: Process> Exec<P> {
 }
 
 /// What one trial measured.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialOutcome {
     /// The trial's master seed.
     pub master_seed: u64,
@@ -143,6 +148,13 @@ pub struct TrialOutcome {
     /// timely-ack/validity for `LBAlg`). Faults may legitimately break
     /// them — that is the point of measuring.
     pub spec_ok: bool,
+    /// Delivery outputs at nodes inside some jam window, when the
+    /// compiled fault plan jams anything (`None` otherwise) — the
+    /// per-region delivery-inequality measurement for jamming studies.
+    pub jammed_recvs: Option<usize>,
+    /// Delivery outputs at nodes no jam window ever touches (the
+    /// complement of [`TrialOutcome::jammed_recvs`]).
+    pub clear_recvs: Option<usize>,
 }
 
 /// All trial outcomes of one scenario run.
@@ -265,8 +277,38 @@ impl ScenarioReport {
                 .filter_map(|o| o.max_owners.map(|m| m as f64))
                 .collect(),
         );
+        // Delivery-inequality rows appear only for jamming scenarios,
+        // so jam-free reports keep their exact pre-mobility shape.
+        if self.outcomes.iter().any(|o| o.jammed_recvs.is_some()) {
+            metric(
+                "deliveries @ jammed nodes",
+                self.outcomes
+                    .iter()
+                    .filter_map(|o| o.jammed_recvs.map(|v| v as f64))
+                    .collect(),
+            );
+            metric(
+                "deliveries @ clear nodes",
+                self.outcomes
+                    .iter()
+                    .filter_map(|o| o.clear_recvs.map(|v| v as f64))
+                    .collect(),
+            );
+        }
         vec![head, stats]
     }
+}
+
+/// The dynamic-geometry state a mobility scenario compiles to: the
+/// epoch timeline every trial engine shares, each epoch's embedding
+/// (disc fault regions resolve against these, per epoch), and what each
+/// rebuild cost.
+struct MobilityState {
+    timeline: GraphTimeline,
+    embeddings: Vec<Arc<Embedding>>,
+    /// Wall-clock nanoseconds per epoch rebuild (index = epoch; entry 0
+    /// is the static deployment build).
+    rebuild_ns: Vec<u64>,
 }
 
 /// Executes a validated scenario.
@@ -277,13 +319,17 @@ pub struct ScenarioRunner {
     /// (one adjacency build per scenario, not per trial).
     graph: Arc<DualGraph>,
     faults: FaultPlan,
+    /// Dynamic geometry (`None` for static scenarios). Built once per
+    /// scenario: motion draws only from the dedicated mobility stream
+    /// of the *topology* seed, so every trial shares one timeline.
+    mobility: Option<MobilityState>,
     /// Reception-resolution shards per trial engine (1 = serial).
     shards: usize,
 }
 
 impl ScenarioRunner {
     /// Validates the scenario, builds its topology, and resolves fault
-    /// regions.
+    /// regions (per epoch, for mobility scenarios).
     ///
     /// # Errors
     ///
@@ -291,15 +337,154 @@ impl ScenarioRunner {
     pub fn new(scenario: Scenario) -> Result<Self, ScenarioError> {
         scenario.validate()?;
         let topo = scenario.topology.build();
-        let faults = scenario.faults.resolve(&topo)?;
+        let mobility = Self::build_mobility(&scenario)?;
+        // A single-epoch timeline is defined to be byte-identical to the
+        // static scenario, so it takes the static resolution path (one
+        // window per jam, resolved against the deployment embedding).
+        let faults = match &mobility {
+            Some(m) if !m.timeline.is_single() => {
+                Self::resolve_faults_per_epoch(&scenario, m)?
+            }
+            _ => scenario.faults.resolve(&topo)?,
+        };
         let graph = Arc::new(topo.graph.clone());
         Ok(ScenarioRunner {
             scenario,
             topo,
             graph,
             faults,
+            mobility,
             shards: 1,
         })
+    }
+
+    /// Builds the epoch timeline for a mobility scenario (`None` when
+    /// the scenario is static).
+    fn build_mobility(scenario: &Scenario) -> Result<Option<MobilityState>, ScenarioError> {
+        let Some(m) = &scenario.mobility else {
+            return Ok(None);
+        };
+        let horizon = scenario
+            .stop
+            .horizon_rounds()
+            .expect("validation requires an explicit horizon for mobility");
+        let params = match scenario.topology {
+            TopologySpec::RandomGeometric {
+                n,
+                side,
+                r,
+                grey_reliable_p,
+                grey_unreliable_p,
+                seed,
+            } => RggParams {
+                n,
+                side,
+                r,
+                grey_reliable_p,
+                grey_unreliable_p,
+                seed,
+            },
+            // Mirrors `topology::constant_density`, so epoch 0 equals the
+            // static deployment byte-for-byte.
+            TopologySpec::ConstantDensity { n, density, r, seed } => RggParams {
+                n,
+                side: topology::constant_density_side(n, density),
+                r,
+                grey_reliable_p: 0.0,
+                grey_unreliable_p: 1.0,
+                seed,
+            },
+            _ => unreachable!("validation restricts mobility to the arena families"),
+        };
+        let epochs = topology::random_geometric_timeline(
+            params,
+            m.speed,
+            m.epoch_rounds,
+            m.epochs_for(horizon) as usize,
+        )
+        .map_err(|e| ScenarioError::Invalid(format!("mobility: {e}")))?;
+        let timeline = GraphTimeline::new(
+            epochs
+                .iter()
+                .map(|e| (e.start_round, Arc::clone(&e.graph))),
+        )
+        .map_err(|e| ScenarioError::Invalid(format!("mobility: {e}")))?;
+        Ok(Some(MobilityState {
+            timeline,
+            embeddings: epochs.iter().map(|e| Arc::clone(&e.embedding)).collect(),
+            rebuild_ns: epochs.iter().map(|e| e.build_ns).collect(),
+        }))
+    }
+
+    /// Resolves the fault plan for a multi-epoch timeline: explicit node
+    /// lists and drop/crash entries are epoch-independent; every disc jam
+    /// (moving or parked — the *nodes* move either way) compiles to one
+    /// window per overlapped epoch, resolved against that epoch's
+    /// embedding at the clipped window's opening round. Jam transitions
+    /// are edge-triggered on the per-round mask, so contiguous same-set
+    /// windows are indistinguishable from one long window.
+    fn resolve_faults_per_epoch(
+        scenario: &Scenario,
+        m: &MobilityState,
+    ) -> Result<FaultPlan, ScenarioError> {
+        let mut plan = FaultPlan::none();
+        for c in &scenario.faults.crashes {
+            plan = if c.restart {
+                plan.with_crash_restart(NodeId(c.node), c.down_from, c.up_at)
+            } else {
+                plan.with_crash(NodeId(c.node), c.down_from, c.up_at)
+            };
+        }
+        let epochs = m.timeline.num_epochs();
+        for j in &scenario.faults.jams {
+            let radius = match &j.region {
+                RegionSpec::Nodes { nodes } => {
+                    plan = plan.with_jam(
+                        nodes.iter().map(|&v| NodeId(v)).collect(),
+                        j.from,
+                        j.to,
+                    );
+                    continue;
+                }
+                RegionSpec::Disc { radius, .. } => *radius,
+            };
+            let mut hit_any = false;
+            for e in 0..epochs {
+                let start = m.timeline.epoch_start(e);
+                let end = if e + 1 < epochs {
+                    m.timeline.epoch_start(e + 1) - 1
+                } else {
+                    u64::MAX
+                };
+                let (lo, hi) = (j.from.max(start), j.to.min(end));
+                if lo > hi {
+                    continue;
+                }
+                let center = j.center_at(lo).expect("disc region has a center");
+                let emb = &m.embeddings[e];
+                let nodes: Vec<NodeId> = (0..emb.len())
+                    .filter(|&v| emb.position(v).distance(&center) <= radius)
+                    .map(NodeId)
+                    .collect();
+                if nodes.is_empty() {
+                    continue;
+                }
+                hit_any = true;
+                plan = plan.with_jam(nodes, lo, hi);
+            }
+            if !hit_any {
+                return Err(ScenarioError::Invalid(format!(
+                    "faults: jam window [{}, {}] resolves to no vertices in any \
+                     epoch (region {:?} with velocity ({}, {}) misses every \
+                     snapshot of the moving topology)",
+                    j.from, j.to, j.region, j.vx, j.vy
+                )));
+            }
+        }
+        for d in &scenario.faults.drops {
+            plan = plan.with_drop_burst(d.from, d.to, d.p);
+        }
+        Ok(plan)
     }
 
     /// Shards each trial engine's reception resolution across `shards`
@@ -328,6 +513,43 @@ impl ScenarioRunner {
     /// The built topology.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// The compiled fault plan (per-epoch jam windows for multi-epoch
+    /// mobility scenarios).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The epoch timeline, for mobility scenarios.
+    pub fn timeline(&self) -> Option<&GraphTimeline> {
+        self.mobility.as_ref().map(|m| &m.timeline)
+    }
+
+    /// Wall-clock nanoseconds each epoch rebuild cost (entry 0 is the
+    /// static deployment build; speed-0 epochs share snapshots and cost
+    /// 0). `None` for static scenarios. Wall-clock, hence noisy — never
+    /// part of golden metrics.
+    pub fn rebuild_ns(&self) -> Option<&[u64]> {
+        self.mobility.as_ref().map(|m| m.rebuild_ns.as_slice())
+    }
+
+    /// The degree bound Δ processes are configured with: the maximum
+    /// over all epochs for mobility scenarios (processes see one
+    /// constant bound, exactly like the engine).
+    fn delta(&self) -> usize {
+        match &self.mobility {
+            Some(m) => m.timeline.delta(),
+            None => self.graph.delta(),
+        }
+    }
+
+    /// The degree bound Δ' (maximum over all epochs).
+    fn delta_prime(&self) -> usize {
+        match &self.mobility {
+            Some(m) => m.timeline.delta_prime(),
+            None => self.graph.delta_prime(),
+        }
     }
 
     /// Runs all trials (in parallel across cores; output order and
@@ -495,11 +717,15 @@ impl ScenarioRunner {
                     .expect("non-oblivious spec is adaptive"),
             ),
         };
-        config
+        let config = config
             .with_r(self.topo.r)
             .with_recording(recording)
             .with_faults(self.faults.clone())
-            .with_shards(self.shards)
+            .with_shards(self.shards);
+        match &self.mobility {
+            Some(m) => config.with_timeline(m.timeline.clone()),
+            None => config,
+        }
     }
 
     /// Horizon in rounds for a workload whose phase is `phase_len` and
@@ -550,7 +776,7 @@ impl ScenarioRunner {
         probe: Probe,
     ) -> TrialCapture {
         let cfg = SeedConfig::practical(epsilon1, seed_bits);
-        let delta = self.graph.delta();
+        let delta = self.delta();
         let horizon = self.horizon(cfg.phase_len(), cfg.total_rounds(delta));
         let n = self.graph.len();
         let procs: Vec<SeedProcess> = (0..n).map(|_| SeedProcess::new(cfg.clone())).collect();
@@ -564,6 +790,7 @@ impl ScenarioRunner {
         let max_owners = seed_spec::owners_per_neighborhood(trace, &self.graph)
             .ok()
             .and_then(|per| per.into_iter().max());
+        let (jammed_recvs, clear_recvs) = self.region_recvs(trace, |_| true);
         let outcome = TrialOutcome {
             master_seed,
             rounds: trace.rounds,
@@ -575,6 +802,8 @@ impl ScenarioRunner {
             stop_satisfied,
             max_owners,
             spec_ok,
+            jammed_recvs,
+            clear_recvs,
         };
         let json = probe
             .trace
@@ -591,11 +820,7 @@ impl ScenarioRunner {
         probe: Probe,
     ) -> TrialCapture {
         let cfg = LbConfig::practical(epsilon1);
-        let params = cfg.resolve(
-            self.topo.r,
-            self.graph.delta(),
-            self.graph.delta_prime(),
-        );
+        let params = cfg.resolve(self.topo.r, self.delta(), self.delta_prime());
         let horizon = self.horizon(
             params.phase_len(),
             (params.t_ack_rounds() + params.phase_len())
@@ -617,6 +842,7 @@ impl ScenarioRunner {
         let trace = exec.trace();
         let spec_ok = lb_spec::check_timely_ack(trace, params.t_ack_rounds()).is_ok()
             && lb_spec::check_validity(trace, &self.graph).is_ok();
+        let (jammed_recvs, clear_recvs) = self.region_recvs(trace, |o: &LbOutput| !o.is_ack());
         let outcome = TrialOutcome {
             master_seed,
             rounds: trace.rounds,
@@ -631,6 +857,8 @@ impl ScenarioRunner {
             stop_satisfied,
             max_owners: None,
             spec_ok,
+            jammed_recvs,
+            clear_recvs,
         };
         let json = probe
             .trace
@@ -664,6 +892,7 @@ impl ScenarioRunner {
             self.drive(&mut exec, horizon, |o: &LbOutput| !o.is_ack());
         let metrics = exec.take_telemetry();
         let trace = exec.trace();
+        let (jammed_recvs, clear_recvs) = self.region_recvs(trace, |o: &LbOutput| !o.is_ack());
         let outcome = TrialOutcome {
             master_seed,
             rounds: trace.rounds,
@@ -677,6 +906,8 @@ impl ScenarioRunner {
             first_delivery: self.watched_delivery(trace, |o: &LbOutput| !o.is_ack()),
             stop_satisfied,
             max_owners: None,
+            jammed_recvs,
+            clear_recvs,
             spec_ok: true,
         };
         let json = probe
@@ -721,6 +952,10 @@ impl ScenarioRunner {
             stop_satisfied: complete,
             max_owners: None,
             spec_ok: true,
+            // The MAC flood rejects fault plans, so there is never a
+            // jammed region to split deliveries over.
+            jammed_recvs: None,
+            clear_recvs: None,
         };
         let json = probe
             .trace
@@ -760,6 +995,37 @@ impl ScenarioRunner {
                 true
             }
         }
+    }
+
+    /// Delivery outputs split by whether the output's node sits inside
+    /// the union of compiled jam windows — `(jammed, clear)`, or
+    /// `(None, None)` when the plan jams nothing (keeping jam-free
+    /// reports exactly as they were).
+    fn region_recvs<I, O, M>(
+        &self,
+        trace: &Trace<I, O, M>,
+        is_delivery: impl Fn(&O) -> bool,
+    ) -> (Option<usize>, Option<usize>) {
+        if self.faults.jams.is_empty() {
+            return (None, None);
+        }
+        let mut in_region = vec![false; self.graph.len()];
+        for j in &self.faults.jams {
+            for v in &j.nodes {
+                in_region[v.0] = true;
+            }
+        }
+        let (mut jammed, mut clear) = (0, 0);
+        for (_, v, o) in trace.outputs() {
+            if is_delivery(o) {
+                if in_region[v.0] {
+                    jammed += 1;
+                } else {
+                    clear += 1;
+                }
+            }
+        }
+        (Some(jammed), Some(clear))
     }
 
     /// The round of the delivery the stop condition watches (or the

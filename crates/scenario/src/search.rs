@@ -201,6 +201,67 @@ impl AdversaryFamily {
     }
 }
 
+/// Bounds of sampled **moving jam discs**. When a [`SpaceSpec`]
+/// carries one of these, every sampled jam window is a disc with a
+/// per-axis drift velocity instead of an explicit node list — the
+/// dynamic-geometry half of the fault space. The base scenario must be
+/// a mobility scenario (see [`SearchSpec::validate`]): the runner
+/// re-resolves each disc against every epoch's embedding, so a moving
+/// disc on a static deployment would be indistinguishable from a
+/// parked one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MovingJamSpace {
+    /// Side of the square arena disc centers are drawn from (match the
+    /// base topology's arena so sampled discs overlap the deployment).
+    pub arena_side: f64,
+    /// Largest sampled disc radius; draws land in `[radius/2, radius]`
+    /// so a disc is never vanishingly small.
+    pub radius: f64,
+    /// Per-axis velocity bound in arena units per round: `vx` and `vy`
+    /// are drawn uniformly from `[-velocity, velocity]`.
+    pub velocity: f64,
+}
+
+impl MovingJamSpace {
+    fn validate(&self) -> Result<(), ScenarioError> {
+        if !(self.arena_side.is_finite() && self.arena_side > 0.0) {
+            return Err(invalid(format!(
+                "search space: moving-jam arena_side must be finite and > 0, got {}",
+                self.arena_side
+            )));
+        }
+        if !(self.radius.is_finite() && self.radius > 0.0) {
+            return Err(invalid(format!(
+                "search space: moving-jam radius must be finite and > 0, got {}",
+                self.radius
+            )));
+        }
+        if !(self.velocity.is_finite() && self.velocity >= 0.0) {
+            return Err(invalid(format!(
+                "search space: moving-jam velocity must be finite and >= 0, got {}",
+                self.velocity
+            )));
+        }
+        Ok(())
+    }
+
+    fn sample(&self, horizon: u64, max_window: u64, rng: &mut ChaCha8Rng) -> JamSpec {
+        let x = rng.gen::<f64>() * self.arena_side;
+        let y = rng.gen::<f64>() * self.arena_side;
+        let radius = self.radius * (0.5 + 0.5 * rng.gen::<f64>());
+        let vx = (rng.gen::<f64>() * 2.0 - 1.0) * self.velocity;
+        let vy = (rng.gen::<f64>() * 2.0 - 1.0) * self.velocity;
+        let from = rng.gen_range(1..horizon + 1);
+        JamSpec {
+            region: RegionSpec::Disc { x, y, radius },
+            from,
+            to: from + rng.gen_range(0..max_window),
+            vx,
+            vy,
+        }
+    }
+}
+
 /// Bounds of the sampled fault/adversary space. Every candidate drawn
 /// from a validated space is a valid scenario by construction —
 /// windows are 1-based and non-empty, vertices in range, probabilities
@@ -230,6 +291,12 @@ pub struct SpaceSpec {
     pub allow_restart: bool,
     /// The adversary families candidates may use (non-empty).
     pub adversaries: Vec<AdversaryFamily>,
+    /// When set, sampled jam windows are moving discs drawn from these
+    /// bounds instead of explicit node lists; requires a mobility base.
+    /// `None` (the default) keeps the classic node-set jams — and the
+    /// sampler's RNG consumption — exactly as before.
+    #[serde(default)]
+    pub moving_jams: Option<MovingJamSpace>,
 }
 
 impl SpaceSpec {
@@ -248,6 +315,7 @@ impl SpaceSpec {
             drop_p_max: 0.9,
             allow_restart: true,
             adversaries: AdversaryFamily::all(),
+            moving_jams: None,
         }
     }
 
@@ -282,6 +350,9 @@ impl SpaceSpec {
             return Err(invalid(
                 "search space: at most 32 windows of each fault type",
             ));
+        }
+        if let Some(mj) = &self.moving_jams {
+            mj.validate()?;
         }
         Ok(())
     }
@@ -325,6 +396,9 @@ impl SpaceSpec {
     }
 
     fn sample_jam(&self, n: usize, rng: &mut ChaCha8Rng) -> JamSpec {
+        if let Some(mj) = &self.moving_jams {
+            return mj.sample(self.horizon, self.max_window, rng);
+        }
         let count = rng.gen_range(1..self.max_jam_nodes + 1);
         let mut nodes: Vec<usize> = (0..count).map(|_| rng.gen_range(0..n)).collect();
         nodes.sort_unstable();
@@ -334,6 +408,8 @@ impl SpaceSpec {
             region: RegionSpec::Nodes { nodes },
             from,
             to: from + rng.gen_range(0..self.max_window),
+            vx: 0.0,
+            vy: 0.0,
         }
     }
 
@@ -706,10 +782,23 @@ impl SearchSpec {
             )));
         }
         self.base.validate()?;
-        if !matches!(self.base.workload, WorkloadSpec::LocalBroadcast { .. }) {
+        if !matches!(
+            self.base.workload,
+            WorkloadSpec::LocalBroadcast { .. } | WorkloadSpec::SeedAgreement { .. }
+        ) {
             return Err(invalid(
-                "search: the base workload must be LocalBroadcast (every objective \
-                 measures ack behavior of LBAlg)",
+                "search: the base workload must be LocalBroadcast or SeedAgreement \
+                 (ack objectives measure LBAlg's censored ack round; SeedAlg bases \
+                 report no acks, so pair them with the spec-violations objective)",
+            ));
+        }
+        if self.space.moving_jams.is_some()
+            && self.space.max_jams > 0
+            && self.base.mobility.is_none()
+        {
+            return Err(invalid(
+                "search: a moving-jam space needs a mobility base (the runner \
+                 resolves moving discs against each epoch's embedding)",
             ));
         }
         if !matches!(self.base.transport, TransportSpec::Sim) {
@@ -914,7 +1003,7 @@ pub fn found_scenario(spec: &SearchSpec, entry: &ArchiveEntry) -> Scenario {
 
 /// The registered search presets, in registry order.
 pub fn presets() -> Vec<SearchSpec> {
-    vec![lb_worst()]
+    vec![lb_worst(), lb_mobile_jam()]
 }
 
 /// Looks up a preset by name (case-insensitive).
@@ -965,6 +1054,63 @@ fn lb_worst() -> SearchSpec {
         seed: 0x5EA_C41,
         trials: None,
         space: SpaceSpec::for_horizon(4_536),
+    }
+}
+
+/// The pinned dynamic-geometry search: moving jam discs hunting a
+/// single broadcast on a mobile random-geometric arena. Small budget —
+/// the preset exists to pin the moving-jam sampler end to end (the
+/// acceptance test checks a rerun stays deterministic and actually
+/// drifts its discs), not to explore exhaustively.
+fn lb_mobile_jam() -> SearchSpec {
+    let base = crate::spec::ScenarioBuilder::new(
+        "lb-mobile-jam",
+        crate::spec::TopologySpec::RandomGeometric {
+            n: 16,
+            side: 3.0,
+            r: 1.6,
+            grey_reliable_p: 0.1,
+            grey_unreliable_p: 0.9,
+            seed: 11,
+        },
+        WorkloadSpec::LocalBroadcast {
+            epsilon1: 0.25,
+            senders: vec![0],
+            messages_per_sender: 1,
+        },
+    )
+    .description(
+        "search base: single broadcast on a 16-node mobile RGG arena, \
+         5 geometry epochs over a 1500-round horizon",
+    )
+    .adversary(AdversarySpec::Bernoulli { p: 0.5 })
+    .stop(crate::spec::StopSpec::Rounds { rounds: 1_500 })
+    .mobility(0.002, 300)
+    .trials(2)
+    .base_seed(91_000)
+    .build()
+    .expect("preset base is valid");
+    let mut space = SpaceSpec::for_horizon(1_500);
+    space.max_crashes = 2;
+    space.max_jams = 2;
+    space.moving_jams = Some(MovingJamSpace {
+        arena_side: 3.0,
+        radius: 1.5,
+        velocity: 0.01,
+    });
+    SearchSpec {
+        name: "lb-mobile-jam".into(),
+        description: "hunt the moving-disc jam schedule that maximizes the censored \
+                      mean ack latency of a single broadcast while the deployment \
+                      itself drifts (random-waypoint mobility, 300-round epochs)"
+            .into(),
+        base,
+        objective: Objective::MeanAckLatency,
+        strategy: StrategySpec::Random,
+        budget: 6,
+        seed: 0x4D0B11,
+        trials: None,
+        space,
     }
 }
 
@@ -1049,6 +1195,8 @@ mod tests {
             first_delivery: None,
             stop_satisfied: true,
             max_owners: None,
+            jammed_recvs: None,
+            clear_recvs: None,
             spec_ok,
         };
         let m = CandidateMetrics::of(&[outcome(Some(40), true), outcome(None, false)]);
@@ -1103,14 +1251,97 @@ mod tests {
         s.strategy = StrategySpec::Evolutionary { mu: 0, lambda: 1 };
         assert!(s.validate().is_err());
         let mut s = tiny_spec();
-        s.base.workload = WorkloadSpec::SeedAgreement {
-            epsilon1: 0.25,
-            seed_bits: 64,
-        };
+        s.base.workload = WorkloadSpec::Decay { senders: vec![0] };
         assert!(s.validate().is_err());
         let mut s = tiny_spec();
         s.trials = Some(0);
         assert!(s.validate().is_err());
+        // Moving-jam spaces demand a mobility base and sane bounds.
+        let mut s = tiny_spec();
+        s.space.moving_jams = Some(MovingJamSpace {
+            arena_side: 3.0,
+            radius: 1.0,
+            velocity: 0.01,
+        });
+        assert!(s.validate().is_err(), "static base must reject moving jams");
+        let mut s = find_preset("lb-mobile-jam").unwrap();
+        s.space.moving_jams = Some(MovingJamSpace {
+            arena_side: 3.0,
+            radius: 0.0,
+            velocity: 0.01,
+        });
+        assert!(s.validate().is_err(), "zero-radius disc space");
+        let mut s = find_preset("lb-mobile-jam").unwrap();
+        s.space.moving_jams = Some(MovingJamSpace {
+            arena_side: 3.0,
+            radius: 1.0,
+            velocity: f64::NAN,
+        });
+        assert!(s.validate().is_err(), "non-finite velocity bound");
+    }
+
+    /// Satellite of the dynamic-geometry work: SeedAlg bases are legal
+    /// search subjects. They report no acks (every ack objective sees
+    /// the censoring bound), so the meaningful pairing is the
+    /// spec-violation objective — and the archive stays byte-identical
+    /// across thread counts like any other search.
+    #[test]
+    fn seed_agreement_bases_search_deterministically() {
+        let base = crate::spec::ScenarioBuilder::new(
+            "seed-tiny",
+            crate::spec::TopologySpec::Clique { n: 4, r: 1.0 },
+            WorkloadSpec::SeedAgreement {
+                epsilon1: 0.25,
+                seed_bits: 8,
+            },
+        )
+        .stop(crate::spec::StopSpec::Rounds { rounds: 150 })
+        .trials(1)
+        .base_seed(77)
+        .build()
+        .unwrap();
+        let mut space = SpaceSpec::for_horizon(150);
+        space.max_jam_nodes = 3;
+        let spec = SearchSpec {
+            name: "seed-tiny".into(),
+            description: String::new(),
+            base,
+            objective: Objective::SpecViolationRate,
+            strategy: StrategySpec::Random,
+            budget: 4,
+            seed: 21,
+            trials: None,
+            space,
+        };
+        spec.validate().unwrap();
+        let a = run_search(&spec, Some(1)).unwrap();
+        let b = run_search(&spec, Some(3)).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.entries.len(), 4);
+        // Censoring keeps ack-less SeedAlg trials scoreable.
+        assert!(a.entries.iter().all(|e| e.metrics.mean_ack.is_finite()));
+    }
+
+    /// The pinned moving-jam preset actually samples drifting discs:
+    /// every candidate's jams are disc regions, at least one drifts,
+    /// and the search runs to completion (no disc misses every epoch).
+    #[test]
+    fn mobile_jam_preset_samples_moving_discs() {
+        let spec = find_preset("lb-mobile-jam").unwrap();
+        let archive = run_search(&spec, Some(2)).unwrap();
+        assert_eq!(archive.entries.len(), spec.budget);
+        let jams: Vec<&JamSpec> = archive
+            .entries
+            .iter()
+            .flat_map(|e| &e.candidate.jams)
+            .collect();
+        assert!(!jams.is_empty(), "budget 6 should sample some jam windows");
+        assert!(jams
+            .iter()
+            .all(|j| matches!(j.region, RegionSpec::Disc { .. })));
+        assert!(jams.iter().any(|j| j.is_moving()), "discs should drift");
+        let back = SearchArchive::from_json(&archive.to_json()).unwrap();
+        assert_eq!(back, archive);
     }
 
     #[test]

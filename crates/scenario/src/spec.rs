@@ -574,7 +574,21 @@ pub struct CrashSpec {
     pub restart: bool,
 }
 
+/// Serde predicate: omit zero-valued velocity components so scenario
+/// files and search archives written before moving jams existed stay
+/// byte-identical when re-serialized.
+fn f64_is_zero(v: &f64) -> bool {
+    *v == 0.0
+}
+
 /// A jamming window over a region.
+///
+/// A nonzero velocity turns a `Disc` region into a **moving jammer**:
+/// the disc center starts at `(x, y)` when the window opens and drifts
+/// by `(vx, vy)` per round. Moving jams require node mobility on the
+/// scenario (the per-epoch geometry machinery resolves the disc against
+/// each epoch's embedding) and compile to one static jam window per
+/// overlapped epoch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JamSpec {
     /// The jammed region.
@@ -583,6 +597,32 @@ pub struct JamSpec {
     pub from: u64,
     /// Last jammed round (inclusive).
     pub to: u64,
+    /// Disc-center x velocity in arena units per round (0 = parked).
+    #[serde(default, skip_serializing_if = "f64_is_zero")]
+    pub vx: f64,
+    /// Disc-center y velocity in arena units per round (0 = parked).
+    #[serde(default, skip_serializing_if = "f64_is_zero")]
+    pub vy: f64,
+}
+
+impl JamSpec {
+    /// Whether the jam region moves (any nonzero or non-finite velocity
+    /// component — NaN counts as moving so validation rejects it).
+    pub fn is_moving(&self) -> bool {
+        self.vx != 0.0 || self.vy != 0.0 || !self.vx.is_finite() || !self.vy.is_finite()
+    }
+
+    /// The disc center at round `t` (≥ `from`), for a `Disc` region.
+    /// `None` for explicit node lists, which cannot move.
+    pub fn center_at(&self, t: u64) -> Option<Point> {
+        match self.region {
+            RegionSpec::Disc { x, y, .. } => {
+                let dt = t.saturating_sub(self.from) as f64;
+                Some(Point::new(x + self.vx * dt, y + self.vy * dt))
+            }
+            RegionSpec::Nodes { .. } => None,
+        }
+    }
 }
 
 /// A message-drop burst.
@@ -711,6 +751,20 @@ impl FaultPlanSpec {
                     "faults: malformed jam window [{}, {}]",
                     j.from, j.to
                 )));
+            }
+            if j.is_moving() {
+                if !j.vx.is_finite() || !j.vy.is_finite() {
+                    return Err(invalid(format!(
+                        "faults: jam velocity must be finite, got ({}, {})",
+                        j.vx, j.vy
+                    )));
+                }
+                if !matches!(j.region, RegionSpec::Disc { .. }) {
+                    return Err(invalid(
+                        "faults: a moving jam needs a disc region (an explicit \
+                         node list has no position to move)",
+                    ));
+                }
             }
         }
         for d in &self.drops {
@@ -920,6 +974,17 @@ pub const MAX_STOP_ROUNDS: u64 = 50_000_000;
 pub const MAX_STOP_PHASES: u64 = 1_000_000;
 
 impl StopSpec {
+    /// The explicit round horizon, when the stop condition names one
+    /// (`Rounds` and `FirstDeliveryAt`; `Phases`/`Complete` derive
+    /// their horizon from the workload at run time).
+    pub fn horizon_rounds(&self) -> Option<u64> {
+        match *self {
+            StopSpec::Rounds { rounds } => Some(rounds),
+            StopSpec::FirstDeliveryAt { horizon_rounds, .. } => Some(horizon_rounds),
+            StopSpec::Phases { .. } | StopSpec::Complete => None,
+        }
+    }
+
     fn validate(&self, n: usize) -> Result<(), ScenarioError> {
         let check_rounds = |what: &str, r: u64| {
             if r == 0 {
@@ -959,6 +1024,73 @@ impl StopSpec {
             }
             StopSpec::Complete => Ok(()),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mobility
+// ---------------------------------------------------------------------------
+
+/// Upper bound on the number of geometry epochs a trial may span
+/// (each epoch rebuilds the dual graph; the cap keeps a typo'd epoch
+/// length from requesting millions of rebuilds).
+pub const MAX_MOBILITY_EPOCHS: u64 = 4096;
+
+/// Node mobility: random-waypoint motion over the deployment arena.
+///
+/// Each node walks toward a uniformly drawn waypoint at `speed` arena
+/// units per round, drawing a fresh waypoint on arrival. The dual graph
+/// is re-sampled from the moved embedding every `epoch_rounds` rounds,
+/// producing a deterministic timeline of graph snapshots (one per
+/// epoch) built once per trial before the first round. Motion draws
+/// from the dedicated mobility RNG stream, so enabling it never
+/// perturbs placement, wiring, scheduling, or process randomness — and
+/// `speed = 0` (or a horizon inside one epoch) is byte-identical to
+/// the static scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MobilitySpec {
+    /// Distance each node covers per round, in arena units (≥ 0).
+    pub speed: f64,
+    /// Rounds between dual-graph rebuilds (epoch length, ≥ 1).
+    pub epoch_rounds: u64,
+}
+
+impl MobilitySpec {
+    /// The number of geometry epochs a `horizon`-round trial spans
+    /// (≥ 1; the last epoch covers any remainder).
+    pub fn epochs_for(&self, horizon: u64) -> u64 {
+        horizon.div_ceil(self.epoch_rounds).max(1)
+    }
+
+    fn validate(&self, horizon: Option<u64>) -> Result<(), ScenarioError> {
+        if !(self.speed >= 0.0 && self.speed.is_finite()) {
+            return Err(invalid(format!(
+                "mobility: speed must be finite and >= 0, got {}",
+                self.speed
+            )));
+        }
+        if self.epoch_rounds == 0 {
+            return Err(invalid("mobility: epoch_rounds must be >= 1"));
+        }
+        // The timeline is materialized up front, so the trial horizon
+        // must be known before the first round.
+        let Some(h) = horizon else {
+            return Err(invalid(
+                "mobility: the stop condition must name an explicit round \
+                 horizon (Rounds or FirstDeliveryAt); Phases/Complete derive \
+                 theirs from the workload after the timeline would be built",
+            ));
+        };
+        let epochs = self.epochs_for(h);
+        if epochs > MAX_MOBILITY_EPOCHS {
+            return Err(invalid(format!(
+                "mobility: horizon {h} at epoch length {} spans {epochs} \
+                 epochs, over the {MAX_MOBILITY_EPOCHS} cap — raise \
+                 epoch_rounds or shorten the trial",
+                self.epoch_rounds
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -1102,6 +1234,11 @@ pub struct Scenario {
     /// so scenario files written before this field existed still parse).
     #[serde(default)]
     pub transport: TransportSpec,
+    /// Node mobility (dynamic geometry). `None` — the default, and
+    /// omitted from serialized scenarios so pre-mobility files and
+    /// archives stay byte-identical — keeps the arena static.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub mobility: Option<MobilitySpec>,
 }
 
 impl Scenario {
@@ -1162,6 +1299,39 @@ impl Scenario {
                 ));
             }
         }
+        if let Some(m) = &self.mobility {
+            m.validate(self.stop.horizon_rounds())?;
+            // Mobility re-samples an RGG from the moved embedding each
+            // epoch; only the arena families have that construction.
+            if !matches!(
+                self.topology,
+                TopologySpec::RandomGeometric { .. } | TopologySpec::ConstantDensity { .. }
+            ) {
+                return Err(invalid(
+                    "mobility: only the RandomGeometric and ConstantDensity \
+                     arena topologies support node mobility",
+                ));
+            }
+            if matches!(self.transport, TransportSpec::MockNet { .. }) {
+                return Err(invalid(
+                    "mobility: the mock network routes over a static link set; \
+                     dynamic geometry runs on the simulator transport",
+                ));
+            }
+            if let WorkloadSpec::AmacFlood { .. } = self.workload {
+                return Err(invalid(
+                    "mobility: amac flood drives its own engine and does not \
+                     support dynamic geometry",
+                ));
+            }
+        } else if let Some(j) = self.faults.jams.iter().find(|j| j.is_moving()) {
+            return Err(invalid(format!(
+                "faults: jam window [{}, {}] has velocity ({}, {}) but the \
+                 scenario has no mobility spec — moving jams ride the \
+                 per-epoch geometry machinery (set mobility, speed 0 is fine)",
+                j.from, j.to, j.vx, j.vy
+            )));
+        }
         Ok(())
     }
 
@@ -1214,6 +1384,7 @@ impl ScenarioBuilder {
                 trials: 4,
                 base_seed: 1,
                 transport: TransportSpec::default(),
+                mobility: None,
             },
         }
     }
@@ -1260,6 +1431,8 @@ impl ScenarioBuilder {
             region: RegionSpec::Nodes { nodes },
             from,
             to,
+            vx: 0.0,
+            vy: 0.0,
         });
         self
     }
@@ -1270,6 +1443,43 @@ impl ScenarioBuilder {
             region: RegionSpec::Disc { x, y, radius },
             from,
             to,
+            vx: 0.0,
+            vy: 0.0,
+        });
+        self
+    }
+
+    /// Adds a moving jam disc: the center starts at `(x, y)` when the
+    /// window opens and drifts by `(vx, vy)` per round. Requires
+    /// [`ScenarioBuilder::mobility`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn moving_jam_disc(
+        mut self,
+        x: f64,
+        y: f64,
+        radius: f64,
+        vx: f64,
+        vy: f64,
+        from: u64,
+        to: u64,
+    ) -> Self {
+        self.scenario.faults.jams.push(JamSpec {
+            region: RegionSpec::Disc { x, y, radius },
+            from,
+            to,
+            vx,
+            vy,
+        });
+        self
+    }
+
+    /// Enables random-waypoint node mobility: each node walks at
+    /// `speed` arena units per round and the dual graph is re-sampled
+    /// every `epoch_rounds` rounds.
+    pub fn mobility(mut self, speed: f64, epoch_rounds: u64) -> Self {
+        self.scenario.mobility = Some(MobilitySpec {
+            speed,
+            epoch_rounds,
         });
         self
     }
@@ -1426,6 +1636,116 @@ mod tests {
         assert!(flood(minimal().adversary(AdversarySpec::GreedyJammer))
             .build()
             .is_err());
+    }
+
+    fn mobile() -> ScenarioBuilder {
+        ScenarioBuilder::new(
+            "m",
+            TopologySpec::RandomGeometric {
+                n: 20,
+                side: 3.0,
+                r: 2.0,
+                grey_reliable_p: 0.1,
+                grey_unreliable_p: 0.8,
+                seed: 5,
+            },
+            WorkloadSpec::Uniform {
+                p: 0.25,
+                senders: vec![0],
+            },
+        )
+        .stop(StopSpec::Rounds { rounds: 40 })
+        .mobility(0.1, 10)
+    }
+
+    #[test]
+    fn mobility_scenario_round_trips_through_json() {
+        let s = mobile()
+            .moving_jam_disc(0.5, 0.5, 1.0, 0.05, -0.02, 3, 30)
+            .build()
+            .unwrap();
+        let json = s.to_json();
+        assert!(json.contains("mobility"), "{json}");
+        assert!(json.contains("vx"), "{json}");
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn static_scenarios_serialize_without_mobility_keys() {
+        // Byte-stability: pre-mobility scenario files, goldens, and the
+        // search archive must re-serialize without the new fields.
+        let s = minimal().jam_disc(0.0, 0.0, 0.6, 4, 9).build().unwrap();
+        let json = s.to_json();
+        assert!(!json.contains("mobility"), "{json}");
+        assert!(!json.contains("vx"), "{json}");
+        assert!(!json.contains("vy"), "{json}");
+    }
+
+    #[test]
+    fn rejects_malformed_mobility() {
+        // Moving jam without a mobility spec.
+        assert!(minimal()
+            .moving_jam_disc(0.0, 0.0, 0.6, 0.1, 0.0, 1, 5)
+            .build()
+            .is_err());
+        // Moving jam over an explicit node list.
+        {
+            let mut b = mobile();
+            b.scenario.faults.jams.push(JamSpec {
+                region: RegionSpec::Nodes { nodes: vec![1] },
+                from: 1,
+                to: 5,
+                vx: 0.1,
+                vy: 0.0,
+            });
+            assert!(b.build().is_err());
+        }
+        // Non-finite velocity.
+        assert!(mobile()
+            .moving_jam_disc(0.5, 0.5, 1.0, f64::NAN, 0.0, 1, 5)
+            .build()
+            .is_err());
+        // Mobility outside the arena families.
+        assert!(minimal()
+            .stop(StopSpec::Rounds { rounds: 40 })
+            .mobility(0.1, 10)
+            .build()
+            .is_err());
+        // Mobility without an explicit horizon.
+        assert!(mobile().stop(StopSpec::Complete).build().is_err());
+        // Bad speed / epoch length / epoch-count blowup.
+        assert!(mobile().mobility(-1.0, 10).build().is_err());
+        assert!(mobile().mobility(f64::INFINITY, 10).build().is_err());
+        assert!(mobile().mobility(0.1, 0).build().is_err());
+        assert!(mobile()
+            .stop(StopSpec::Rounds {
+                rounds: MAX_STOP_ROUNDS
+            })
+            .mobility(0.1, 1)
+            .build()
+            .is_err());
+        // Speed 0 with a sane horizon remains legal.
+        assert!(mobile().mobility(0.0, 10).build().is_ok());
+    }
+
+    #[test]
+    fn moving_jam_center_drifts_from_window_open() {
+        let j = JamSpec {
+            region: RegionSpec::Disc {
+                x: 1.0,
+                y: 2.0,
+                radius: 0.5,
+            },
+            from: 10,
+            to: 30,
+            vx: 0.1,
+            vy: -0.2,
+        };
+        assert!(j.is_moving());
+        let c = j.center_at(20).unwrap();
+        assert!((c.x - 2.0).abs() < 1e-12 && (c.y - 0.0).abs() < 1e-12);
+        assert_eq!(j.center_at(10), Some(Point::new(1.0, 2.0)));
     }
 
     #[test]

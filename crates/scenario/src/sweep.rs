@@ -29,8 +29,8 @@
 
 use crate::campaign::{Campaign, CampaignReport, MeasuredMetrics};
 use crate::spec::{
-    AdversarySpec, CrashSpec, DropSpec, JamSpec, Scenario, ScenarioError, StopSpec, TopologySpec,
-    WorkloadSpec, MAX_STOP_ROUNDS,
+    AdversarySpec, CrashSpec, DropSpec, JamSpec, RegionSpec, Scenario, ScenarioError, StopSpec,
+    TopologySpec, WorkloadSpec, MAX_STOP_ROUNDS,
 };
 use analysis::report::markdown_report;
 use analysis::table::{fnum, Table};
@@ -165,6 +165,21 @@ pub enum OverrideSpec {
         #[serde(default)]
         restart: bool,
     },
+    /// Sets the geometry-epoch length of a mobility base. Rejected
+    /// when the base has no [`MobilitySpec`](crate::spec::MobilitySpec)
+    /// — an epoch axis over a static scenario would sweep nothing.
+    EpochRounds {
+        /// New epoch length in rounds (≥ 1; validated by scenario
+        /// validation against the horizon and the epoch cap).
+        epoch_rounds: u64,
+    },
+    /// Sets the random-waypoint node speed of a mobility base (arena
+    /// units per round; 0 parks the deployment while keeping the
+    /// epoch machinery live). Rejected when the base has no mobility.
+    MobilitySpeed {
+        /// New node speed (≥ 0; validated by scenario validation).
+        speed: f64,
+    },
 }
 
 impl OverrideSpec {
@@ -280,6 +295,24 @@ impl OverrideSpec {
                 }
                 s.faults.crashes = crashes;
             }
+            OverrideSpec::EpochRounds { epoch_rounds } => match &mut s.mobility {
+                Some(m) => m.epoch_rounds = *epoch_rounds,
+                None => {
+                    return Err(invalid(
+                        "sweep: EpochRounds override on a base without mobility sweeps \
+                         nothing",
+                    ));
+                }
+            },
+            OverrideSpec::MobilitySpeed { speed } => match &mut s.mobility {
+                Some(m) => m.speed = *speed,
+                None => {
+                    return Err(invalid(
+                        "sweep: MobilitySpeed override on a base without mobility sweeps \
+                         nothing",
+                    ));
+                }
+            },
         }
         Ok(())
     }
@@ -611,6 +644,9 @@ struct SweepRow {
     spec_ok_rate: f64,
 }
 
+/// A metric extractor over one sweep row (curve pivots and charts).
+type MetricGetter = fn(&SweepRow) -> Option<f64>;
+
 /// Display rendering for an optional percentile: the round number, or
 /// a dash when no trial observed the event.
 fn pnum(v: Option<u64>) -> String {
@@ -809,26 +845,23 @@ impl SweepReport {
             .map_or("—".into(), fnum)
     }
 
-    /// Per-metric curve pivots: the **last axis runs across the
-    /// columns**, every combination of the leading axes is a row. For
-    /// a 1-axis sweep the long table already is the curve, so this
-    /// returns one single-row pivot per metric.
-    pub fn curve_tables(&self) -> Vec<Table> {
-        type Getter = fn(&SweepRow) -> Option<f64>;
-        let metrics: [(&str, Getter); 5] = [
+    /// The per-metric curve getters, in pivot/chart order.
+    fn metrics() -> [(&'static str, MetricGetter); 5] {
+        [
             ("ack_latency", |r| r.ack_latency),
             ("delivery_latency", |r| r.delivery_latency),
             ("acks", |r| Some(r.acks)),
             ("deliveries", |r| Some(r.deliveries)),
             ("spec_ok_rate", |r| Some(r.spec_ok_rate)),
-        ];
-        let (lead_axes, col_axis) = self.axes.split_at(self.axes.len() - 1);
-        let col_labels = &self.axis_labels[self.axes.len() - 1];
-        // Every combination of leading-axis labels, row-major; one
-        // empty combination when there are no leading axes.
-        let mut lead_combos: Vec<Vec<String>> = vec![Vec::new()];
-        for labels in &self.axis_labels[..lead_axes.len()] {
-            lead_combos = lead_combos
+        ]
+    }
+
+    /// Every combination of leading-axis labels, row-major; one empty
+    /// combination when there are no leading axes.
+    fn lead_combos(&self) -> Vec<Vec<String>> {
+        let mut combos: Vec<Vec<String>> = vec![Vec::new()];
+        for labels in &self.axis_labels[..self.axes.len() - 1] {
+            combos = combos
                 .iter()
                 .flat_map(|combo| {
                     labels.iter().map(move |l| {
@@ -839,6 +872,18 @@ impl SweepReport {
                 })
                 .collect();
         }
+        combos
+    }
+
+    /// Per-metric curve pivots: the **last axis runs across the
+    /// columns**, every combination of the leading axes is a row. For
+    /// a 1-axis sweep the long table already is the curve, so this
+    /// returns one single-row pivot per metric.
+    pub fn curve_tables(&self) -> Vec<Table> {
+        let metrics = Self::metrics();
+        let (lead_axes, col_axis) = self.axes.split_at(self.axes.len() - 1);
+        let col_labels = &self.axis_labels[self.axes.len() - 1];
+        let lead_combos = self.lead_combos();
         metrics
             .iter()
             .map(|(metric, get)| {
@@ -894,6 +939,140 @@ impl SweepReport {
             &sections,
         )
     }
+
+    /// ASCII line charts of the curve pivots (the `--plot` rendering):
+    /// one chart per metric, the last axis across the x positions, one
+    /// lettered series per leading-axis combination, linear
+    /// interpolation dots between measured points. Pure ASCII and
+    /// byte-identical across runs and thread counts, like every other
+    /// rendering. Metrics with no measured value are skipped.
+    pub fn ascii_charts(&self) -> String {
+        const WIDTH: usize = 56;
+        const HEIGHT: usize = 12;
+        let (lead_axes, col_axis) = self.axes.split_at(self.axes.len() - 1);
+        let col_labels = &self.axis_labels[self.axes.len() - 1];
+        let combos = self.lead_combos();
+        // x position of each column, spread across the canvas.
+        let xpos: Vec<usize> = (0..col_labels.len())
+            .map(|i| {
+                if col_labels.len() == 1 {
+                    0
+                } else {
+                    i * (WIDTH - 1) / (col_labels.len() - 1)
+                }
+            })
+            .collect();
+        let mut out = String::new();
+        for (metric, get) in Self::metrics() {
+            // One series per leading combo: the metric over the columns.
+            let series: Vec<Vec<Option<f64>>> = combos
+                .iter()
+                .map(|combo| {
+                    col_labels
+                        .iter()
+                        .map(|col| {
+                            let mut labels = combo.clone();
+                            labels.push(col.clone());
+                            self.rows.iter().find(|r| r.labels == labels).and_then(get)
+                        })
+                        .collect()
+                })
+                .collect();
+            let values: Vec<f64> = series.iter().flatten().filter_map(|v| *v).collect();
+            let Some(lo) = values.iter().copied().reduce(f64::min) else {
+                continue; // nothing measured for this metric
+            };
+            let hi = values.iter().copied().reduce(f64::max).expect("non-empty");
+            // A flat curve still renders: pad the range around it.
+            let (lo, hi) = if lo == hi { (lo - 1.0, hi + 1.0) } else { (lo, hi) };
+            let y_of = |v: f64| {
+                let t = (v - lo) / (hi - lo);
+                HEIGHT - 1 - ((t * (HEIGHT - 1) as f64).round() as usize).min(HEIGHT - 1)
+            };
+            let mut canvas = vec![[' '; WIDTH]; HEIGHT];
+            for (si, points) in series.iter().enumerate() {
+                let symbol = (b'a' + (si % 26) as u8) as char;
+                // Interpolation dots between consecutive measured points.
+                let measured: Vec<(usize, f64)> = points
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| v.map(|v| (i, v)))
+                    .collect();
+                for w in measured.windows(2) {
+                    let ((i0, v0), (i1, v1)) = (w[0], w[1]);
+                    // `canvas[y][x]` with y a function of x: not a
+                    // row-slice iteration.
+                    #[allow(clippy::needless_range_loop)]
+                    for x in xpos[i0]..=xpos[i1] {
+                        let t = if xpos[i1] == xpos[i0] {
+                            0.0
+                        } else {
+                            (x - xpos[i0]) as f64 / (xpos[i1] - xpos[i0]) as f64
+                        };
+                        let y = y_of(v0 + t * (v1 - v0));
+                        if canvas[y][x] == ' ' {
+                            canvas[y][x] = '.';
+                        }
+                    }
+                }
+                for (i, v) in measured {
+                    let cell = &mut canvas[y_of(v)][xpos[i]];
+                    // Overlapping series points render as '*'.
+                    *cell = match *cell {
+                        ' ' | '.' => symbol,
+                        c if c == symbol => symbol,
+                        _ => '*',
+                    };
+                }
+            }
+            let lo_label = fnum(lo);
+            let hi_label = fnum(hi);
+            let margin = lo_label.len().max(hi_label.len());
+            out.push_str(&format!("### {metric}\n\n"));
+            for (y, row) in canvas.iter().enumerate() {
+                let label = match y {
+                    0 => hi_label.clone(),
+                    y if y == HEIGHT - 1 => lo_label.clone(),
+                    _ => String::new(),
+                };
+                let line: String = row.iter().collect();
+                out.push_str(&format!("{label:>margin$} |{}\n", line.trim_end()));
+            }
+            out.push_str(&format!("{:>margin$} +{}\n", "", "-".repeat(WIDTH)));
+            let first = format!("{}={}", col_axis[0], col_labels[0]);
+            let last = format!(
+                "{}={}",
+                col_axis[0],
+                col_labels.last().expect("axes have points")
+            );
+            let gap = (WIDTH + 1).saturating_sub(first.len() + last.len());
+            out.push_str(&format!(
+                "{:>margin$}  {first}{}{last}\n",
+                "",
+                " ".repeat(gap)
+            ));
+            if !lead_axes.is_empty() {
+                for (si, combo) in combos.iter().enumerate() {
+                    let symbol = (b'a' + (si % 26) as u8) as char;
+                    let name: Vec<String> = lead_axes
+                        .iter()
+                        .zip(combo)
+                        .map(|(a, l)| format!("{a}={l}"))
+                        .collect();
+                    out.push_str(&format!(
+                        "{:>margin$}  {symbol} = {}\n",
+                        "",
+                        name.join(",")
+                    ));
+                }
+            }
+            out.push('\n');
+        }
+        if out.is_empty() {
+            out.push_str("(no measured points to plot)\n");
+        }
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -902,7 +1081,7 @@ impl SweepReport {
 
 /// All registered sweep families, realizing the ROADMAP follow-ons.
 pub fn sweeps() -> Vec<SweepSpec> {
-    vec![churn_knee(), loss_grid(), scale_curve()]
+    vec![churn_knee(), loss_grid(), mobility_knee(), scale_curve()]
 }
 
 /// The registered sweep names, in registry order.
@@ -1062,6 +1241,94 @@ fn loss_grid() -> SweepSpec {
             "drop-burst@p=0.9,burst=61,alg=lb".into(),
             "drop-burst@p=0.9,burst=61,alg=decay".into(),
             "drop-burst@p=0.99,burst=128,alg=lb".into(),
+        ],
+    }
+}
+
+/// The dynamic-geometry knee: delivery latency vs. **geometry-epoch
+/// length** on the `mobility` base. The base is re-aimed at a watched
+/// listener: a streaming sender, a whole-arena jam disc that sweeps
+/// rightward and progressively uncovers the deployment, and a
+/// `FirstDeliveryAt` stop on an interior node. The runner re-resolves
+/// the disc's node membership only at epoch boundaries, so the watched
+/// node stays silenced until the **first epoch opening after the disc
+/// has physically left it** — delivery latency quantizes up to the
+/// epoch grid, and the curve rises monotonically with the epoch
+/// length. The speed axis puts the parked deployment (`0`, the pinned
+/// monotone curve) next to drifting ones: waypoint motion perturbs
+/// *which* round the disc clears each node but not the quantization
+/// story.
+fn mobility_knee() -> SweepSpec {
+    let mut base = crate::registry::find("mobility").expect("mobility is registered");
+    base.workload = WorkloadSpec::LocalBroadcast {
+        epsilon1: 0.25,
+        senders: vec![0],
+        messages_per_sender: 1_000,
+    };
+    base.stop = StopSpec::FirstDeliveryAt {
+        node: 17,
+        horizon_rounds: 1_200,
+    };
+    // One disc over the whole arena, drifting right: every node starts
+    // jammed and is physically uncovered once the center has moved ~6
+    // units past it. Node 17 is a reliable G-neighbor of the sender in
+    // the parked seed-41 embedding, and at this drift speed its
+    // clearance round (~501) quantizes to a *distinct* epoch boundary
+    // for every swept epoch length: 541 / 601 / 721 / 961.
+    base.faults.jams = vec![JamSpec {
+        region: RegionSpec::Disc {
+            x: 2.0,
+            y: 2.0,
+            radius: 6.0,
+        },
+        from: 1,
+        to: 1_200,
+        vx: 0.011,
+        vy: 0.0,
+    }];
+    let epoch = |label: &str, rounds: u64| SweepPoint {
+        label: label.into(),
+        set: vec![OverrideSpec::EpochRounds {
+            epoch_rounds: rounds,
+        }],
+    };
+    let speed = |label: &str, v: f64| SweepPoint {
+        label: label.into(),
+        set: vec![OverrideSpec::MobilitySpeed { speed: v }],
+    };
+    SweepSpec {
+        name: "mobility-knee".into(),
+        description: "delivery latency vs. geometry-epoch length on the mobility base: \
+                      a whole-arena jam disc sweeps rightward while the watched \
+                      listener's unjam round quantizes up to the next epoch boundary, \
+                      across random-waypoint node speeds (0 = parked deployment)"
+            .into(),
+        base,
+        axes: vec![
+            SweepAxis {
+                axis: "epoch".into(),
+                points: vec![
+                    epoch("60", 60),
+                    epoch("120", 120),
+                    epoch("240", 240),
+                    epoch("480", 480),
+                ],
+            },
+            SweepAxis {
+                axis: "speed".into(),
+                points: vec![
+                    speed("0", 0.0),
+                    speed("0.002", 0.002),
+                    speed("0.01", 0.01),
+                ],
+            },
+        ],
+        trials: Some(2),
+        pinned: vec![
+            "mobility@epoch=60,speed=0".into(),
+            "mobility@epoch=120,speed=0".into(),
+            "mobility@epoch=240,speed=0".into(),
+            "mobility@epoch=480,speed=0".into(),
         ],
     }
 }
@@ -1369,7 +1636,53 @@ mod tests {
         }
         assert!(find_sweep("CHURN-KNEE").is_some());
         assert!(find_sweep("nope").is_none());
-        assert_eq!(sweep_names(), vec!["churn-knee", "loss-grid", "scale-curve"]);
+        assert_eq!(
+            sweep_names(),
+            vec!["churn-knee", "loss-grid", "mobility-knee", "scale-curve"]
+        );
+    }
+
+    #[test]
+    fn mobility_overrides_require_a_mobility_base() {
+        let mut s = tiny_base();
+        let err = OverrideSpec::EpochRounds { epoch_rounds: 64 }
+            .apply(&mut s)
+            .unwrap_err();
+        assert!(matches!(&err, ScenarioError::Invalid(m) if m.contains("EpochRounds")), "{err}");
+        let err = OverrideSpec::MobilitySpeed { speed: 0.01 }
+            .apply(&mut s)
+            .unwrap_err();
+        assert!(matches!(&err, ScenarioError::Invalid(m) if m.contains("MobilitySpeed")), "{err}");
+
+        let mut m = crate::registry::find("mobility").unwrap();
+        OverrideSpec::EpochRounds { epoch_rounds: 64 }
+            .apply(&mut m)
+            .unwrap();
+        OverrideSpec::MobilitySpeed { speed: 0.25 }.apply(&mut m).unwrap();
+        let spec = m.mobility.unwrap();
+        assert_eq!(spec.epoch_rounds, 64);
+        assert_eq!(spec.speed, 0.25);
+    }
+
+    #[test]
+    fn mobility_knee_sweeps_epoch_length_with_a_pinned_parked_curve() {
+        let spec = find_sweep("mobility-knee").unwrap();
+        let grid = spec.expand().unwrap();
+        assert_eq!(grid.len(), 12);
+        assert_eq!(spec.pinned.len(), 4, "four pinned epoch points");
+        // Pinned points all sit on the parked (speed = 0) curve, in
+        // increasing epoch order — what the monotonicity gate walks.
+        for (name, rounds) in spec.pinned.iter().zip([60u64, 120, 240, 480]) {
+            let p = grid
+                .points()
+                .iter()
+                .find(|p| &p.scenario.name == name)
+                .unwrap();
+            let m = p.scenario.mobility.as_ref().unwrap();
+            assert_eq!(m.epoch_rounds, rounds);
+            assert_eq!(m.speed, 0.0);
+            assert!(p.scenario.faults.jams.iter().all(|j| j.is_moving()));
+        }
     }
 
     #[test]
@@ -1537,6 +1850,29 @@ mod tests {
         let acks = &curves[2];
         assert_eq!(acks.rows[0][2], "—", "unmeasured cell renders as dash");
         assert_ne!(acks.rows[0][1], "—", "measured cell has a value");
+    }
+
+    #[test]
+    fn ascii_charts_render_deterministic_series() {
+        let mut spec = tiny_sweep();
+        spec.trials = Some(1);
+        let grid = spec.expand().unwrap();
+        let report = grid.campaign().unwrap().run();
+        let sweep = SweepReport::new(&grid, &report);
+        let charts = sweep.ascii_charts();
+        // Always-measured metrics chart; every chart carries the column
+        // axis ruler and the per-series legend.
+        assert!(charts.contains("### acks"));
+        assert!(charts.contains("### spec_ok_rate"));
+        assert!(charts.contains("adv=0.3"));
+        assert!(charts.contains("adv=0.9"));
+        assert!(charts.contains("a = p=0.2"));
+        assert!(charts.contains("b = p=0.8"));
+        assert!(charts.is_ascii(), "plot output is pure ASCII");
+        assert_eq!(charts, sweep.ascii_charts(), "rendering is deterministic");
+        // A second run of the same grid plots byte-identically.
+        let again = SweepReport::new(&grid, &grid.campaign().unwrap().run());
+        assert_eq!(charts, again.ascii_charts());
     }
 
     #[test]

@@ -136,6 +136,8 @@ fn synthetic_report(outcomes: &[(Option<u64>, usize, usize, bool)]) -> ScenarioR
             first_delivery: first_ack,
             stop_satisfied: true,
             max_owners: None,
+            jammed_recvs: None,
+            clear_recvs: None,
             spec_ok,
         })
         .collect();

@@ -1,0 +1,255 @@
+//! Dynamic-geometry invariants.
+//!
+//! * A **single-epoch** timeline is byte-identical to the static path:
+//!   same trace JSON, same outcomes, whatever the adversary, fault
+//!   plan, or shard count (the load-bearing refactor invariant — all
+//!   pre-existing goldens ride on it).
+//! * A **parked** (speed 0) multi-epoch timeline with a velocity-0 disc
+//!   jam also matches the static path: per-epoch resolution emits
+//!   contiguous same-set windows, and jam transitions are edge-triggered
+//!   on the per-round mask.
+//! * A **moving** jam resolves to genuinely different node sets across
+//!   epochs, and mobility trials replay byte-identically regardless of
+//!   shard count.
+//! * A [`net::Cluster`] over [`net::SimTransport`] stays byte-for-byte
+//!   the engine across epoch boundaries of a multi-epoch mobility
+//!   scenario's compiled timeline and fault plan.
+
+use net::{Cluster, ClusterConfig, SimTransport};
+use proptest::prelude::*;
+use radio_sim::engine::{Configuration, Engine};
+use radio_sim::environment::NullEnvironment;
+use radio_sim::process::{Action, Context, Process};
+use radio_sim::scheduler::BernoulliEdges;
+use radio_sim::trace::RecordingPolicy;
+use scenario::prelude::*;
+use scenario::spec::{TopologySpec, WorkloadSpec};
+use std::sync::Arc;
+
+/// A 24-node arena scenario with one of everything the fault machinery
+/// injects: a disc jam, a crash with recovery, and a drop burst.
+fn arena(topo_seed: u64, base_seed: u64, adv_p: f64, fault_kind: u8) -> ScenarioBuilder {
+    let b = ScenarioBuilder::new(
+        "arena",
+        TopologySpec::RandomGeometric {
+            n: 24,
+            side: 3.0,
+            r: 1.7,
+            grey_reliable_p: 0.2,
+            grey_unreliable_p: 0.8,
+            seed: topo_seed,
+        },
+        WorkloadSpec::LocalBroadcast {
+            epsilon1: 0.25,
+            senders: vec![0],
+            messages_per_sender: 2,
+        },
+    )
+    .adversary(AdversarySpec::Bernoulli { p: adv_p })
+    .stop(StopSpec::Rounds { rounds: 90 })
+    .trials(1)
+    .base_seed(base_seed);
+    // A radius-2.5 disc at the arena center covers every point of the
+    // 3x3 square, so resolution never comes up empty.
+    match fault_kind % 4 {
+        0 => b,
+        1 => b.crash(3, 10, Some(30)),
+        2 => b
+            .jam_disc(1.5, 1.5, 2.5, 5, 70)
+            .drop_burst(8, 20, 0.4),
+        _ => b
+            .jam_nodes(vec![1, 7], 12, 40)
+            .crash_restart(5, 6, Some(50)),
+    }
+}
+
+fn trace_and_outcome(s: Scenario, shards: usize) -> (String, TrialOutcome) {
+    let runner = ScenarioRunner::new(s).unwrap().shards(shards);
+    (runner.trial_trace_json(0), runner.run_trial(0))
+}
+
+#[test]
+fn single_epoch_timeline_is_byte_identical_to_the_static_path() {
+    let statics = arena(5, 77, 0.5, 2).build().unwrap();
+    // epoch_rounds = horizon => one epoch; nonzero speed never gets to
+    // move anything because no second epoch is ever built.
+    let mobile = arena(5, 77, 0.5, 2).mobility(0.004, 90).build().unwrap();
+    for shards in [1, 3] {
+        let (ts, os) = trace_and_outcome(statics.clone(), shards);
+        let (tm, om) = trace_and_outcome(mobile.clone(), shards);
+        assert!(ts.contains("JamStart"), "the fault plan actually fires");
+        assert_eq!(ts, tm, "single-epoch trace drifted (shards {shards})");
+        assert_eq!(os, om, "single-epoch outcome drifted (shards {shards})");
+    }
+    let runner = ScenarioRunner::new(mobile).unwrap();
+    let tl = runner.timeline().expect("mobility scenario has a timeline");
+    assert!(tl.is_single(), "epoch_rounds = horizon compiles to one epoch");
+}
+
+#[test]
+fn parked_mobility_with_a_velocity_zero_disc_matches_static() {
+    let statics = arena(9, 13, 0.5, 2).build().unwrap();
+    // Multi-epoch (30-round epochs over a 90-round horizon) but parked:
+    // every epoch re-resolves the same disc against the same embedding,
+    // and the contiguous same-set windows are indistinguishable from
+    // one long window on the edge-triggered jam mask.
+    let parked = arena(9, 13, 0.5, 2).mobility(0.0, 30).build().unwrap();
+    let runner = ScenarioRunner::new(parked.clone()).unwrap();
+    assert_eq!(runner.timeline().unwrap().num_epochs(), 3);
+    assert!(
+        runner.fault_plan().jams.len() > 1,
+        "per-epoch resolution splits the window"
+    );
+    let (ts, os) = trace_and_outcome(statics, 1);
+    let (tp, op) = trace_and_outcome(parked, 1);
+    assert_eq!(ts, tp, "parked multi-epoch trace drifted from static");
+    assert_eq!(os, op);
+}
+
+#[test]
+fn moving_jam_resolves_a_different_node_set_per_epoch() {
+    let s = registry::find("mobility").unwrap();
+    let runner = ScenarioRunner::new(s).unwrap();
+    let tl = runner.timeline().unwrap();
+    assert!(tl.num_epochs() > 1, "the registry scenario is multi-epoch");
+    let jams = &runner.fault_plan().jams;
+    assert!(jams.len() > 1, "one compiled window per overlapped epoch");
+    let mut sets: Vec<Vec<u32>> = jams
+        .iter()
+        .map(|j| j.nodes.iter().map(|v| v.0 as u32).collect())
+        .collect();
+    sets.dedup();
+    assert!(
+        sets.len() > 1,
+        "a drifting disc over moving nodes must cover different vertices \
+         in different epochs: {sets:?}"
+    );
+}
+
+#[test]
+fn mobility_trials_replay_byte_identical_and_shard_independent() {
+    let mut s = registry::find("mobility").unwrap();
+    s.trials = 1;
+    let a = ScenarioRunner::new(s.clone()).unwrap();
+    let b = ScenarioRunner::new(s.clone()).unwrap();
+    let sharded = ScenarioRunner::new(s).unwrap().shards(3);
+    let ta = a.trial_trace_json(0);
+    assert!(!ta.is_empty());
+    assert_eq!(ta, b.trial_trace_json(0), "fresh runner replay drifted");
+    assert_eq!(ta, sharded.trial_trace_json(0), "shard count changed the bytes");
+    assert_eq!(a.run_trial(0), sharded.run_trial(0));
+}
+
+/// Transmits on a vertex-dependent schedule and relays the last heard
+/// message — any desynchronization between the two executors cascades
+/// into a visible trace difference.
+#[derive(Clone)]
+struct Chatter {
+    vertex: u32,
+    last_heard: Option<u32>,
+}
+
+impl Process for Chatter {
+    type Msg = u32;
+    type Input = ();
+    type Output = u32;
+
+    fn on_input(&mut self, _input: (), _ctx: &mut Context<'_>) {}
+
+    fn transmit(&mut self, ctx: &mut Context<'_>) -> Action<u32> {
+        use rand::Rng;
+        let coin = ctx.rng.gen_bool(0.5);
+        if ctx.round % 3 == u64::from(self.vertex) % 3 && coin {
+            Action::Transmit(self.vertex * 1000 + (ctx.round as u32 % 1000))
+        } else {
+            Action::Receive
+        }
+    }
+
+    fn on_receive(&mut self, msg: Option<u32>, _ctx: &mut Context<'_>) {
+        if msg.is_some() {
+            self.last_heard = msg;
+        }
+    }
+
+    fn take_outputs(&mut self) -> Vec<u32> {
+        self.last_heard.take().into_iter().collect()
+    }
+}
+
+#[test]
+fn engine_and_sim_cluster_agree_across_epoch_boundaries() {
+    // The registry mobility scenario's *compiled* timeline and per-epoch
+    // fault plan, driven far enough to cross two epoch boundaries.
+    let s = registry::find("mobility").unwrap();
+    let runner = ScenarioRunner::new(s).unwrap();
+    let timeline = runner.timeline().unwrap().clone();
+    assert!(timeline.num_epochs() > 2);
+    let faults = runner.fault_plan().clone();
+    let graph = Arc::clone(timeline.epoch_graph(0));
+    let r = runner.topology().r;
+    let n = graph.len();
+    let procs = || -> Vec<Chatter> {
+        (0..n)
+            .map(|v| Chatter {
+                vertex: v as u32,
+                last_heard: None,
+            })
+            .collect()
+    };
+    let rounds = timeline.epoch_start(2) + 20;
+
+    let config = Configuration::new(Arc::clone(&graph), Box::new(BernoulliEdges::new(0.5, 7)))
+        .with_r(r)
+        .with_recording(RecordingPolicy::full())
+        .with_faults(faults.clone())
+        .with_shards(2)
+        .with_timeline(timeline.clone());
+    let mut engine = Engine::new(config, procs(), Box::new(NullEnvironment), 99);
+    engine.run(rounds);
+    let reference = engine.into_trace();
+
+    let transport = SimTransport::new(Arc::clone(&graph), Box::new(BernoulliEdges::new(0.5, 7)))
+        .with_shards(2)
+        .with_timeline(timeline.clone());
+    let config = ClusterConfig::new(Arc::clone(&graph))
+        .with_r(r)
+        .with_recording(RecordingPolicy::full())
+        .with_faults(faults)
+        .with_timeline(timeline);
+    let mut cluster = Cluster::new(config, transport, procs(), Box::new(NullEnvironment), 99);
+    cluster.run(rounds);
+    let trace = cluster.into_trace();
+
+    assert_eq!(reference.rounds, trace.rounds);
+    assert_eq!(reference.events, trace.events);
+    assert_eq!(reference.round_stats, trace.round_stats);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Single-epoch timelines match the static path across adversary
+    /// strengths, fault plans, shard counts, and node speeds.
+    #[test]
+    fn single_epoch_equals_static_under_random_settings(
+        topo_seed in 0u64..200,
+        base_seed in 0u64..500,
+        adv_p in 0.1f64..0.9,
+        fault_kind in 0u8..4,
+        shards in 1usize..4,
+        speed in 0.0f64..0.01,
+    ) {
+        let statics = arena(topo_seed, base_seed, adv_p, fault_kind)
+            .build()
+            .unwrap();
+        let mobile = arena(topo_seed, base_seed, adv_p, fault_kind)
+            .mobility(speed, 90)
+            .build()
+            .unwrap();
+        let (ts, os) = trace_and_outcome(statics, shards);
+        let (tm, om) = trace_and_outcome(mobile, shards);
+        prop_assert_eq!(ts, tm, "single-epoch trace drifted");
+        prop_assert_eq!(os, om, "single-epoch outcome drifted");
+    }
+}

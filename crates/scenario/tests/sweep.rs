@@ -196,6 +196,7 @@ fn checked_in_sweep_files_match_the_registry() {
     for (file, name) in [
         ("scenarios/sweeps/churn_knee.json", "churn-knee"),
         ("scenarios/sweeps/loss_grid.json", "loss-grid"),
+        ("scenarios/sweeps/mobility_knee.json", "mobility-knee"),
         ("scenarios/sweeps/scale_curve.json", "scale-curve"),
     ] {
         let data = std::fs::read_to_string(repo_dir(file))

@@ -67,6 +67,9 @@ pub struct EngineMetrics {
     pub dropped: u64,
     /// Node-rounds spent crashed/down.
     pub down_node_rounds: u64,
+    /// Dynamic-geometry epoch boundaries crossed (graph snapshot
+    /// swaps); 0 for static geometry or a single-epoch timeline.
+    pub epoch_switches: u64,
 }
 
 impl EngineMetrics {
@@ -85,6 +88,7 @@ impl EngineMetrics {
             jammed: 0,
             dropped: 0,
             down_node_rounds: 0,
+            epoch_switches: 0,
         }
     }
 
@@ -128,6 +132,7 @@ impl EngineMetrics {
         self.jammed += other.jammed;
         self.dropped += other.dropped;
         self.down_node_rounds += other.down_node_rounds;
+        self.epoch_switches += other.epoch_switches;
     }
 }
 
@@ -154,9 +159,11 @@ mod tests {
         a.record_round([5; ENGINE_PHASES]);
         a.deliveries = 7;
         a.collisions = 2;
+        a.epoch_switches = 1;
         let mut b = EngineMetrics::new(4);
         b.record_round([9; ENGINE_PHASES]);
         b.deliveries = 3;
+        b.epoch_switches = 2;
         b.shard_busy_ns = vec![1, 2, 3, 4];
 
         let mut ab = EngineMetrics::new(1);
@@ -168,6 +175,7 @@ mod tests {
         assert_eq!(ab, ba);
         assert_eq!(ab.rounds, 2);
         assert_eq!(ab.deliveries, 10);
+        assert_eq!(ab.epoch_switches, 3);
         assert_eq!(ab.shard_busy_ns, vec![1, 2, 3, 4]);
     }
 }

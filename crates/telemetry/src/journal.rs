@@ -132,6 +132,10 @@ pub struct EngineRecord {
     pub jammed: u64,
     pub dropped: u64,
     pub down_node_rounds: u64,
+    /// Dynamic-geometry epoch switches; defaulted so pre-mobility
+    /// journals still parse.
+    #[serde(default)]
+    pub epoch_switches: u64,
 }
 
 impl EngineRecord {
@@ -149,6 +153,7 @@ impl EngineRecord {
             jammed: m.jammed,
             dropped: m.dropped,
             down_node_rounds: m.down_node_rounds,
+            epoch_switches: m.epoch_switches,
         }
     }
 

@@ -8,8 +8,9 @@
 //! formatted string parsed back into a `TokenStream`.
 //!
 //! Supported shapes — exactly what the workspace uses:
-//! * named-field structs (with optional `#[serde(with = "module")]`
-//!   and/or `#[serde(default)]` on fields),
+//! * named-field structs (with optional `#[serde(with = "module")]`,
+//!   `#[serde(default)]`, and/or
+//!   `#[serde(skip_serializing_if = "path")]` on fields),
 //! * tuple structs (single field = transparent newtype, like serde),
 //! * enums with unit, newtype, tuple, and struct variants (externally
 //!   tagged representation),
@@ -46,6 +47,11 @@ struct FieldAttrs {
     /// Whether `#[serde(default)]` was given: a missing field
     /// deserializes as `Default::default()` instead of erroring.
     default: bool,
+    /// Predicate path from `#[serde(skip_serializing_if = "path")]`:
+    /// the field's map entry is omitted when `path(&field)` is true
+    /// (keeping serialized output byte-stable when a new field holds
+    /// its default value).
+    skip_serializing_if: Option<String>,
 }
 
 #[derive(Debug)]
@@ -140,6 +146,9 @@ impl Cursor {
             if a.with.is_some() {
                 attrs.with = a.with;
             }
+            if a.skip_serializing_if.is_some() {
+                attrs.skip_serializing_if = a.skip_serializing_if;
+            }
             attrs.default |= a.default;
         }
         attrs
@@ -229,14 +238,21 @@ fn parse_serde_attrs(attr_body: TokenStream) -> FieldAttrs {
                 attrs.with = Some(raw.trim_matches('"').to_string());
                 i += 3;
             }
+            [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit), ..]
+                if key.to_string() == "skip_serializing_if" && eq.as_char() == '=' =>
+            {
+                let raw = lit.to_string();
+                attrs.skip_serializing_if = Some(raw.trim_matches('"').to_string());
+                i += 3;
+            }
             [TokenTree::Ident(key), ..] if key.to_string() == "default" => {
                 attrs.default = true;
                 i += 1;
             }
             [TokenTree::Punct(p), ..] if p.as_char() == ',' => i += 1,
             _ => panic!(
-                "serde_derive: only #[serde(with = \"module\")] and #[serde(default)] \
-                 are supported, got #[serde({})]",
+                "serde_derive: only #[serde(with = \"module\")], #[serde(default)], and \
+                 #[serde(skip_serializing_if = \"path\")] are supported, got #[serde({})]",
                 group.stream()
             ),
         }
@@ -409,9 +425,13 @@ fn render_serialize(input: &Input) -> String {
                         "{path}::serialize(&self.{name}, ::serde::value::ValueSerializer).{to_value_err}"
                     ),
                 };
-                pushes.push_str(&format!(
-                    "__entries.push((\"{name}\".to_string(), {expr}));\n"
-                ));
+                let push = format!("__entries.push((\"{name}\".to_string(), {expr}));\n");
+                match &f.attrs.skip_serializing_if {
+                    None => pushes.push_str(&push),
+                    Some(pred) => pushes.push_str(&format!(
+                        "if !{pred}(&self.{name}) {{ {push} }}\n"
+                    )),
+                }
             }
             format!(
                 "let mut __entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
@@ -475,9 +495,15 @@ fn render_serialize(input: &Input) -> String {
                                     "{path}::serialize({fname}, ::serde::value::ValueSerializer).{to_value_err}"
                                 ),
                             };
-                            pushes.push_str(&format!(
+                            let push = format!(
                                 "__inner.push((\"{fname}\".to_string(), {expr}));\n"
-                            ));
+                            );
+                            match &f.attrs.skip_serializing_if {
+                                None => pushes.push_str(&push),
+                                Some(pred) => pushes.push_str(&format!(
+                                    "if !{pred}({fname}) {{ {push} }}\n"
+                                )),
+                            }
                         }
                         arms.push_str(&format!(
                             "{name}::{vname} {{ {binds} }} => {{\n\

@@ -482,6 +482,59 @@ mod derive_default_tests {
 }
 
 #[cfg(test)]
+mod derive_skip_serializing_tests {
+    use super::*;
+
+    fn is_zero(v: &f64) -> bool {
+        *v == 0.0
+    }
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct WithSkip {
+        kept: u64,
+        #[serde(default, skip_serializing_if = "is_zero")]
+        speed: f64,
+    }
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    enum SkipEnum {
+        Window {
+            from: u64,
+            #[serde(default, skip_serializing_if = "is_zero")]
+            vx: f64,
+        },
+    }
+
+    #[test]
+    fn default_valued_fields_are_omitted_from_output() {
+        let json = to_string(&WithSkip { kept: 7, speed: 0.0 }).unwrap();
+        assert_eq!(json, "{\"kept\":7}");
+        assert_eq!(
+            from_str::<WithSkip>(&json).unwrap(),
+            WithSkip { kept: 7, speed: 0.0 }
+        );
+    }
+
+    #[test]
+    fn non_default_fields_still_round_trip() {
+        let v = WithSkip { kept: 1, speed: 0.25 };
+        let json = to_string(&v).unwrap();
+        assert!(json.contains("speed"), "{json}");
+        assert_eq!(from_str::<WithSkip>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn enum_struct_variants_skip_too() {
+        let json = to_string(&SkipEnum::Window { from: 3, vx: 0.0 }).unwrap();
+        assert!(!json.contains("vx"), "{json}");
+        let v = SkipEnum::Window { from: 3, vx: -0.5 };
+        let json = to_string(&v).unwrap();
+        assert!(json.contains("vx"), "{json}");
+        assert_eq!(from_str::<SkipEnum>(&json).unwrap(), v);
+    }
+}
+
+#[cfg(test)]
 mod negative_zero_tests {
     use super::*;
 
